@@ -1,0 +1,169 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures.  Heavy
+simulation results are cached per pytest session (datasets, compiled
+programs, inference runs) so benches that share inputs — e.g. Table VII,
+Fig. 13 and Table VIII all consume strategy-comparison runs — only
+simulate once.
+
+Dataset scales: full-size graphs for CiteSeer/Cora/PubMed; Flickr, NELL
+and Reddit run scaled down by default so the whole harness finishes in
+minutes on a laptop (the kernel-to-primitive behaviour is governed by
+densities, which the generators preserve — see DESIGN.md).  Set
+``REPRO_FULL_SCALE=1`` for full-scale runs where memory permits.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro import (
+    Accelerator,
+    Compiler,
+    RuntimeSystem,
+    build_model,
+    init_weights,
+    load_dataset,
+    make_strategy,
+    u250_default,
+)
+from repro.gnn import prune_weights
+from repro.harness import format_table, geomean, sci, speedup_fmt, write_result
+from repro.runtime import end_to_end_seconds
+
+FULL_SCALE = os.environ.get("REPRO_FULL_SCALE", "0") == "1"
+
+#: per-dataset generation parameters: (scale, feature_dim override)
+BENCH_PROFILE = {
+    "CI": (1.0, None),
+    "CO": (1.0, None),
+    "PU": (1.0, None),
+    "FL": (0.25, None),
+    "NE": (0.25, 16384),
+    "RE": (0.05, None),
+}
+FULL_PROFILE = {
+    "CI": (1.0, None),
+    "CO": (1.0, None),
+    "PU": (1.0, None),
+    "FL": (1.0, None),
+    "NE": (1.0, None),
+    "RE": (0.2, None),
+}
+#: smaller instances for the pruning sweeps (many runs per dataset)
+SWEEP_PROFILE = {
+    "CI": (1.0, None),
+    "CO": (1.0, None),
+    "PU": (0.3, None),
+    "FL": (0.1, None),
+    "NE": (0.1, 8192),
+    "RE": (0.02, None),
+}
+
+DATASETS = ("CI", "CO", "PU", "FL", "NE", "RE")
+MODELS = ("GCN", "GraphSAGE", "GIN", "SGC")
+STRATEGIES = ("S1", "S2", "Dynamic")
+
+
+def profile(sweep: bool = False) -> dict:
+    if FULL_SCALE:
+        return FULL_PROFILE
+    return SWEEP_PROFILE if sweep else BENCH_PROFILE
+
+
+@lru_cache(maxsize=None)
+def get_dataset(name: str, sweep: bool = False):
+    scale, fdim = profile(sweep)[name]
+    return load_dataset(name, scale=scale, feature_dim=fdim, seed=42)
+
+
+@lru_cache(maxsize=None)
+def get_program(model_name: str, ds_name: str, sparsity_pct: int = 0,
+                sweep: bool = False):
+    data = get_dataset(ds_name, sweep)
+    model = build_model(
+        model_name, data.num_features, data.hidden_dim, data.num_classes
+    )
+    weights = init_weights(model, seed=7)
+    if sparsity_pct:
+        weights = prune_weights(weights, sparsity_pct / 100.0)
+    return Compiler(u250_default()).compile(model, data, weights)
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Scalar summary of one simulated run (results cached, outputs dropped)."""
+
+    model: str
+    dataset: str
+    strategy: str
+    sparsity_pct: int
+    latency_ms: float
+    total_cycles: float
+    overhead_fraction: float
+    runtime_overhead_s: float
+    macs: int
+    bytes_moved: int
+    num_tasks: int
+    num_pairs: int
+    skipped_pairs: int
+    load_balance: float
+    end_to_end_s: float
+    compile_ms: float
+
+
+@lru_cache(maxsize=None)
+def run(model_name: str, ds_name: str, strategy: str, sparsity_pct: int = 0,
+        sweep: bool = False) -> RunSummary:
+    """Simulate one (model, dataset, strategy, weight-sparsity) cell."""
+    program = get_program(model_name, ds_name, sparsity_pct, sweep)
+    acc = Accelerator(program.config)
+    result = RuntimeSystem(acc, make_strategy(strategy, acc.config)).run(program)
+    from repro.hw.report import Primitive
+
+    return RunSummary(
+        model=model_name,
+        dataset=ds_name,
+        strategy=strategy,
+        sparsity_pct=sparsity_pct,
+        latency_ms=result.latency_ms,
+        total_cycles=result.total_cycles,
+        overhead_fraction=result.overhead_fraction,
+        runtime_overhead_s=result.runtime_overhead_seconds,
+        macs=result.total_macs,
+        bytes_moved=result.bytes_read + result.bytes_written,
+        num_tasks=result.num_tasks,
+        num_pairs=result.num_pairs,
+        skipped_pairs=result.primitive_totals.get(Primitive.SKIP, 0),
+        load_balance=result.load_balance(),
+        end_to_end_s=end_to_end_seconds(program, result),
+        compile_ms=program.timings.total_ms,
+    )
+
+
+def emit(name: str, table: str) -> str:
+    """Print a rendered table and persist it under results/."""
+    print("\n" + table)
+    write_result(name, table)
+    return table
+
+
+__all__ = [
+    "BENCH_PROFILE",
+    "DATASETS",
+    "MODELS",
+    "STRATEGIES",
+    "FULL_SCALE",
+    "RunSummary",
+    "emit",
+    "format_table",
+    "geomean",
+    "get_dataset",
+    "get_program",
+    "profile",
+    "run",
+    "sci",
+    "speedup_fmt",
+]

@@ -1,0 +1,41 @@
+"""A2 — ablation: scaling with the number of Computation Cores.
+
+The U250 design fits 7 CCs (Fig. 9).  This bench sweeps 1..8 cores and
+checks that kernel makespans scale with core count until load balance or
+memory bandwidth saturates — the reason the eta constraint exists.
+"""
+
+from _common import emit, format_table, get_dataset
+from repro import Accelerator, Compiler, RuntimeSystem, build_model, init_weights, make_strategy, u250_default
+
+
+def sweep():
+    data = get_dataset("PU")
+    model = build_model("GCN", data.num_features, data.hidden_dim,
+                        data.num_classes)
+    weights = init_weights(model, seed=7)
+    out = []
+    for cores in (1, 2, 4, 7, 8):
+        cfg = u250_default().replace(num_cores=cores)
+        program = Compiler(cfg).compile(model, data, weights)
+        acc = Accelerator(cfg)
+        res = RuntimeSystem(acc, make_strategy("Dynamic", cfg)).run(program)
+        out.append((cores, res.latency_ms, res.load_balance()))
+    return out
+
+
+def test_ablation_cores(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    base = rows[0][1]
+    table = format_table(
+        ["cores", "latency (ms)", "speedup vs 1 core", "load balance"],
+        [[c, f"{lat:.4f}", f"{base / lat:.2f}x", f"{lb:.3f}"]
+         for c, lat, lb in rows],
+        title="A2: Computation Core scaling (GCN on PubMed)",
+    )
+    emit("ablation_cores", table)
+    lat = {c: l for c, l, _ in rows}
+    assert lat[7] < lat[1], "7 cores must beat 1 core"
+    assert lat[4] <= lat[1], "4 cores must not lose to 1 core"
+    # scaling is sub-linear (memory bandwidth is shared)
+    assert lat[1] / lat[7] <= 7.0

@@ -1,0 +1,47 @@
+"""A4 — ablation: partition-size trade-off (Algorithm 9's objectives).
+
+Sweeps the minimum partition dimension and compares against the
+heuristic's choice.  Small partitions maximise task parallelism and
+fine-grained sparsity exploitation but multiply K2P decisions and operand
+reloads; large partitions maximise locality but starve the cores.  The
+heuristic should land within a modest factor of the sweep's best point.
+"""
+
+from _common import emit, format_table, get_dataset
+from repro import Accelerator, Compiler, RuntimeSystem, build_model, init_weights, make_strategy, u250_default
+
+
+def sweep():
+    data = get_dataset("PU")
+    model = build_model("GCN", data.num_features, data.hidden_dim,
+                        data.num_classes)
+    weights = init_weights(model, seed=7)
+    rows = []
+    for floor in (64, 128, 256, 512, 1024, 2048):
+        cfg = u250_default().replace(min_partition_dim=floor)
+        program = Compiler(cfg).compile(model, data, weights)
+        acc = Accelerator(cfg)
+        res = RuntimeSystem(acc, make_strategy("Dynamic", cfg)).run(program)
+        rows.append(
+            (floor, program.n1, program.n2, res.latency_ms,
+             res.overhead_fraction, res.num_pairs, res.load_balance())
+        )
+    return rows
+
+
+def test_ablation_partition(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["min dim", "N1", "N2", "latency (ms)", "K2P ovh", "pairs", "balance"],
+        [[f, n1, n2, f"{lat:.4f}", f"{o:.3f}", p, f"{lb:.3f}"]
+         for f, n1, n2, lat, o, p, lb in rows],
+        title="A4: partition-size sweep (GCN on PubMed)",
+    )
+    emit("ablation_partition", table)
+    by_floor = {r[0]: r for r in rows}
+    # smaller partitions -> more pairs -> more runtime-system work
+    assert by_floor[64][5] > by_floor[1024][5]
+    assert by_floor[64][4] >= by_floor[1024][4]
+    # the default (1024) is within 2x of the best point in the sweep
+    best = min(r[3] for r in rows)
+    assert by_floor[1024][3] <= 2.0 * best

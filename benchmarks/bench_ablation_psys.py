@@ -1,0 +1,58 @@
+"""A5 — ablation: ALU-array dimension psys.
+
+psys moves three things at once: mode throughputs (p^2 / p^2/2 / p), the
+SpDMM-vs-SPMM crossover (alpha_max = 2/psys), and FPGA resources
+(Fig. 9).  The paper picks psys = 16 — the largest value for which seven
+CCs fit the U250.  This bench sweeps psys and reports latency, primitive
+mix and resource feasibility.
+"""
+
+from _common import emit, format_table, get_dataset
+from repro import (
+    Accelerator,
+    Compiler,
+    RuntimeSystem,
+    build_model,
+    estimate_resources,
+    init_weights,
+    make_strategy,
+    u250_default,
+)
+from repro.hw.report import Primitive
+
+
+def sweep():
+    data = get_dataset("CI")
+    model = build_model("GCN", data.num_features, data.hidden_dim,
+                        data.num_classes)
+    weights = init_weights(model, seed=7)
+    rows = []
+    for psys in (8, 16, 32):
+        cfg = u250_default().replace(psys=psys)
+        program = Compiler(cfg).compile(model, data, weights)
+        acc = Accelerator(cfg)
+        res = RuntimeSystem(acc, make_strategy("Dynamic", cfg)).run(program)
+        prims = res.primitive_totals
+        fits = estimate_resources(cfg).fits
+        rows.append(
+            (psys, res.latency_ms, prims.get(Primitive.SPDMM, 0),
+             prims.get(Primitive.SPMM, 0), 2.0 / psys, fits)
+        )
+    return rows
+
+
+def test_ablation_psys(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["psys", "latency (ms)", "SpDMM pairs", "SPMM pairs",
+         "SPMM threshold", "7 CCs fit U250"],
+        [[p, f"{lat:.4f}", sd, sm, f"{thr:.4f}", fits]
+         for p, lat, sd, sm, thr, fits in rows],
+        title="A5: psys sweep (GCN on CiteSeer)",
+    )
+    emit("ablation_psys", table)
+    by_p = {r[0]: r for r in rows}
+    # bigger arrays are faster (more MACs/cycle)
+    assert by_p[16][1] <= by_p[8][1]
+    # but psys = 32 does not fit the U250 with 7 CCs (paper's design point)
+    assert by_p[16][5] and not by_p[32][5]

@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration: make `_common` importable and register
+a session summary that tells the user where the rendered tables went."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.harness import results_dir  # noqa: E402
+
+
+def pytest_sessionfinish(session, exitstatus):  # noqa: D103
+    if exitstatus == 0:
+        print(f"\n[repro] rendered tables written to {results_dir()}")

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Pruned-model sweep: how weight sparsity changes the optimal mapping.
+
+Prunes a GCN's weight matrices to increasing sparsities (as in §VIII-B /
+Fig. 11-12), runs all three strategies at each point, and shows the
+Dynamic mapping's speedup growing with sparsity — static mappings cannot
+exploit pruning at all (S1) or only partially (S2).
+"""
+
+from repro import (
+    Accelerator,
+    Compiler,
+    RuntimeSystem,
+    build_model,
+    init_weights,
+    load_dataset,
+    make_strategy,
+    prune_weights,
+)
+from repro.harness import format_table, speedup_fmt
+from repro.hw.report import Primitive
+
+SPARSITIES = (0.0, 0.3, 0.5, 0.7, 0.9, 0.95)
+
+
+def main() -> None:
+    data = load_dataset("CI")
+    model = build_model("GCN", data.num_features, data.hidden_dim,
+                        data.num_classes)
+    base_weights = init_weights(model, seed=0)
+
+    rows = []
+    for sparsity in SPARSITIES:
+        weights = prune_weights(base_weights, sparsity)
+        program = Compiler().compile(model, data, weights)
+        res = {}
+        for strat in ("S1", "S2", "Dynamic"):
+            acc = Accelerator(program.config)
+            res[strat] = RuntimeSystem(
+                acc, make_strategy(strat, acc.config)
+            ).run(program)
+        dyn = res["Dynamic"]
+        prims = dyn.primitive_totals
+        rows.append([
+            f"{sparsity * 100:.0f}%",
+            f"{dyn.latency_ms * 1e3:.1f}",
+            speedup_fmt(res["S1"].total_cycles / dyn.total_cycles),
+            speedup_fmt(res["S2"].total_cycles / dyn.total_cycles),
+            prims.get(Primitive.SKIP, 0),
+            prims.get(Primitive.SPMM, 0),
+            prims.get(Primitive.SPDMM, 0),
+            prims.get(Primitive.GEMM, 0),
+        ])
+    print(format_table(
+        ["weight sparsity", "Dynamic (us)", "SO-S1", "SO-S2",
+         "skipped", "SPMM", "SpDMM", "GEMM"],
+        rows,
+        title="GCN on CiteSeer: pruning sweep (Fig. 11/12 at example scale)",
+    ))
+    print("\nAs sparsity rises, the Analyzer shifts pairs toward cheaper "
+          "primitives and skips empty partitions; static mappings cannot.")
+
+
+if __name__ == "__main__":
+    main()

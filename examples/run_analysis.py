@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Post-run analysis: Gantt timeline, roofline regimes, strategy diff.
+
+Runs GCN on PubMed under Dynamic and S1, then shows (a) the task schedule
+across the seven Computation Cores, (b) which kernels are compute- vs
+memory-bound — the regime split that decides where dynamic mapping can
+win — and (c) a per-kernel attribution of the SO-S1 speedup.
+"""
+
+from repro import (
+    Accelerator,
+    Compiler,
+    RuntimeSystem,
+    build_model,
+    init_weights,
+    load_dataset,
+    make_strategy,
+)
+from repro.analysis import classify_kernels, render_gantt
+from repro.analysis.compare import format_comparison
+
+
+def main() -> None:
+    data = load_dataset("PU")
+    model = build_model("GCN", data.num_features, data.hidden_dim,
+                        data.num_classes)
+    program = Compiler().compile(model, data, init_weights(model, seed=0))
+
+    results = {}
+    for strat in ("Dynamic", "S1"):
+        acc = Accelerator(program.config)
+        results[strat] = RuntimeSystem(
+            acc, make_strategy(strat, acc.config)
+        ).run(program)
+
+    dyn = results["Dynamic"]
+    print(dyn.format_report())
+
+    print("\n--- schedule (Algorithm 8) ---")
+    print(render_gantt(dyn, width=90))
+
+    print("\n--- roofline regimes ---")
+    for c in classify_kernels(dyn):
+        print(" ", c.describe())
+
+    print("\n--- Dynamic vs S1, per kernel ---")
+    print(format_comparison(dyn, results["S1"]))
+    print("\nDynamic only beats S1 on compute-bound kernels whose "
+          "primitives it remapped;\nmemory-bound kernels cost the same "
+          "under any mapping.")
+
+
+if __name__ == "__main__":
+    main()

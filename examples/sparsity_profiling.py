@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Sparsity profiling: reproduce the paper's motivation figures (Figs. 1-2).
+
+Profiles (a) the adjacency-matrix densities and their per-block spread,
+and (b) the density of the GCN feature matrix at every kernel boundary —
+the dynamic sparsity that static mapping cannot see because intermediate
+densities only exist at runtime.
+"""
+
+import numpy as np
+
+from repro import build_model, init_weights, load_dataset
+from repro.formats.density import density
+from repro.formats.partition import PartitionedMatrix
+from repro.gnn.functional import layerwise_feature_densities
+from repro.harness import format_table
+
+DATASETS = ("CI", "CO", "PU")
+
+
+def main() -> None:
+    rows = []
+    for name in DATASETS:
+        data = load_dataset(name)
+        n1 = max(data.num_vertices // 8, 1)
+        pm = PartitionedMatrix(data.a, n1, n1, name="A")
+        grid = pm.density_grid
+        rows.append([
+            name,
+            f"{density(data.a) * 100:.4f}%",
+            f"{grid.min() * 100:.4f}%",
+            f"{grid.max() * 100:.4f}%",
+            f"{grid.max() / max(np.median(grid), 1e-12):.1f}x",
+        ])
+    print(format_table(
+        ["dataset", "density(A)", "min block", "max block", "max/median"],
+        rows, title="Fig. 1: adjacency density varies across blocks",
+    ))
+
+    print()
+    rows = []
+    for name in DATASETS:
+        data = load_dataset(name)
+        model = build_model("GCN", data.num_features, data.hidden_dim,
+                            data.num_classes)
+        stages = layerwise_feature_densities(
+            model, data.a, data.h0, init_weights(model, seed=0)
+        )
+        rows.append([name] + [f"{d:.3f}" for _, d in stages])
+    print(format_table(
+        ["dataset", "input", "L1 Update", "L1 Agg+relu", "L2 Update", "L2 Agg"],
+        rows,
+        title="Fig. 2: feature density changes stage to stage at runtime",
+    ))
+    print("\nThe input can be <1% dense while intermediates exceed 50% — "
+          "the reason a single static kernel-to-primitive mapping loses.")
+
+
+if __name__ == "__main__":
+    main()

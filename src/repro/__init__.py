@@ -1,0 +1,75 @@
+"""Dynasparse reproduction: dynamic sparsity exploitation for GNN inference.
+
+A full-system Python reproduction of *Dynasparse: Accelerating GNN
+Inference through Dynamic Sparsity Exploitation* (Zhang & Prasanna,
+IPDPS 2023): a functional + cycle-level simulator of the FPGA accelerator,
+the host compiler, the soft-processor runtime system with dynamic
+kernel-to-primitive mapping, the four benchmark GNN models, synthetic
+equivalents of the six benchmark datasets, and analytical baseline
+platforms -- everything needed to regenerate the paper's tables and
+figures.
+
+Quickstart::
+
+    from repro import (
+        Accelerator, Compiler, RuntimeSystem, build_model, init_weights,
+        load_dataset, make_strategy,
+    )
+
+    data = load_dataset("CO")
+    model = build_model("GCN", data.num_features, data.hidden_dim,
+                        data.num_classes)
+    program = Compiler().compile(model, data, init_weights(model))
+    acc = Accelerator(program.config)
+    result = RuntimeSystem(acc, make_strategy("Dynamic", acc.config)).run(program)
+    print(f"{result.latency_ms:.3f} ms", result.primitive_totals)
+"""
+
+from repro.config import AcceleratorConfig, u250_default, small_test_config
+from repro.compiler import Compiler, CompiledProgram
+from repro.datasets import DATASET_NAMES, GraphData, TABLE_VI, load_dataset
+from repro.gnn import (
+    MODEL_NAMES,
+    ModelSpec,
+    build_model,
+    init_weights,
+    prune_weights,
+    reference_inference,
+)
+from repro.hw import Accelerator, Primitive, estimate_resources
+from repro.runtime import (
+    InferenceResult,
+    RuntimeSystem,
+    end_to_end_seconds,
+    make_strategy,
+)
+from repro.runtime.executor import run_strategy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcceleratorConfig",
+    "u250_default",
+    "small_test_config",
+    "Compiler",
+    "CompiledProgram",
+    "DATASET_NAMES",
+    "GraphData",
+    "TABLE_VI",
+    "load_dataset",
+    "MODEL_NAMES",
+    "ModelSpec",
+    "build_model",
+    "init_weights",
+    "prune_weights",
+    "reference_inference",
+    "Accelerator",
+    "Primitive",
+    "estimate_resources",
+    "InferenceResult",
+    "RuntimeSystem",
+    "end_to_end_seconds",
+    "make_strategy",
+    "run_strategy",
+    "__version__",
+]

@@ -1,0 +1,140 @@
+"""Command-line interface: ``python -m repro``.
+
+Gives downstream users the paper's core experiment without writing code:
+
+    python -m repro run --model GCN --dataset CO --strategy Dynamic
+    python -m repro compare --model GCN --dataset CI
+    python -m repro resources
+    python -m repro datasets
+
+Latency, primitive histogram and overhead are printed in the paper's
+units; ``compare`` reproduces one cell of Table VII.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import (
+    Accelerator,
+    Compiler,
+    RuntimeSystem,
+    build_model,
+    estimate_resources,
+    init_weights,
+    load_dataset,
+    make_strategy,
+    u250_default,
+)
+from repro.datasets import DATASET_NAMES, TABLE_VI
+from repro.gnn import MODEL_NAMES, prune_weights
+from repro.harness import format_table, sci, speedup_fmt
+
+
+def _build(args):
+    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    model = build_model(args.model, data.num_features, data.hidden_dim,
+                        data.num_classes)
+    weights = init_weights(model, seed=args.seed)
+    if args.prune > 0:
+        weights = prune_weights(weights, args.prune)
+    program = Compiler(u250_default()).compile(model, data, weights)
+    return data, model, program
+
+
+def cmd_run(args) -> int:
+    data, model, program = _build(args)
+    acc = Accelerator(program.config)
+    result = RuntimeSystem(acc, make_strategy(args.strategy, acc.config)).run(
+        program
+    )
+    print(f"{model.name} on {data.name} (scale {data.scale}), "
+          f"strategy {args.strategy}:")
+    print(f"  latency           : {sci(result.latency_ms)} ms")
+    print(f"  kernels/tasks/pairs: {program.num_kernels}/"
+          f"{result.num_tasks}/{result.num_pairs}")
+    print(f"  primitives        : "
+          f"{ {p.value: c for p, c in result.primitive_totals.items()} }")
+    print(f"  runtime overhead  : {result.overhead_fraction * 100:.2f}%")
+    print(f"  load balance      : {result.load_balance():.3f}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    data, model, program = _build(args)
+    results = {}
+    for strat in ("S1", "S2", "Dynamic"):
+        acc = Accelerator(program.config)
+        results[strat] = RuntimeSystem(
+            acc, make_strategy(strat, acc.config)
+        ).run(program)
+    dyn = results["Dynamic"]
+    rows = [
+        [s, sci(results[s].latency_ms),
+         speedup_fmt(results[s].total_cycles / dyn.total_cycles)]
+        for s in ("S1", "S2", "Dynamic")
+    ]
+    print(format_table(
+        ["strategy", "latency (ms)", "vs Dynamic"],
+        rows, title=f"{model.name} on {data.name} (Table VII cell)",
+    ))
+    return 0
+
+
+def cmd_resources(args) -> int:
+    print(estimate_resources(u250_default()).format_table())
+    return 0
+
+
+def cmd_datasets(args) -> int:
+    rows = [
+        [s.name, s.full_name, f"{s.vertices:,}", f"{s.edges:,}",
+         f"{s.features:,}", s.classes, s.hidden_dim, s.default_scale]
+        for s in TABLE_VI.values()
+    ]
+    print(format_table(
+        ["key", "name", "vertices", "edges", "features", "classes",
+         "hidden", "default scale"],
+        rows, title="Table VI benchmark datasets",
+    ))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Dynasparse reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--model", choices=MODEL_NAMES, default="GCN")
+        p.add_argument("--dataset", choices=DATASET_NAMES, default="CO")
+        p.add_argument("--scale", type=float, default=None,
+                       help="dataset scale in (0, 1]")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--prune", type=float, default=0.0,
+                       help="weight sparsity in [0, 1]")
+
+    p_run = sub.add_parser("run", help="run one model/dataset/strategy")
+    common(p_run)
+    p_run.add_argument("--strategy", default="Dynamic",
+                       help="Dynamic | S1 | S2 | Oracle | Fixed-<prim>")
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="S1 vs S2 vs Dynamic")
+    common(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_res = sub.add_parser("resources", help="Fig. 9 resource table")
+    p_res.set_defaults(func=cmd_resources)
+
+    p_ds = sub.add_parser("datasets", help="Table VI dataset catalog")
+    p_ds.set_defaults(func=cmd_datasets)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Side-by-side comparison of two runs of the same program.
+
+Turns the paper's Table VII-style "SO-S1" single number into a per-kernel
+attribution: which kernels the faster strategy actually accelerated, and
+how the primitive mix changed.  The two runs must come from the same
+compiled program (same kernels, same partitioning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness import format_table, speedup_fmt
+from repro.runtime.executor import InferenceResult
+
+
+@dataclass(frozen=True)
+class KernelDelta:
+    kernel_id: str
+    cycles_a: float
+    cycles_b: float
+    #: b's cycles / a's cycles: > 1 means `a` is faster on this kernel
+    speedup_of_a: float
+    primitives_a: str
+    primitives_b: str
+
+
+def _prim_mix(counts) -> str:
+    return ",".join(
+        f"{p.value}:{c}" for p, c in sorted(counts.items(), key=lambda kv: kv[0].value)
+    )
+
+
+def compare_runs(a: InferenceResult, b: InferenceResult) -> list[KernelDelta]:
+    """Per-kernel deltas between two runs (``a`` is the candidate,
+    ``b`` the baseline)."""
+    if len(a.kernel_stats) != len(b.kernel_stats):
+        raise ValueError("runs come from different programs")
+    deltas = []
+    for ka, kb in zip(a.kernel_stats, b.kernel_stats):
+        if ka.kernel_id != kb.kernel_id:
+            raise ValueError(
+                f"kernel mismatch: {ka.kernel_id} vs {kb.kernel_id}"
+            )
+        deltas.append(
+            KernelDelta(
+                kernel_id=ka.kernel_id,
+                cycles_a=ka.cycles,
+                cycles_b=kb.cycles,
+                speedup_of_a=(kb.cycles / ka.cycles) if ka.cycles else float("inf"),
+                primitives_a=_prim_mix(ka.primitive_counts),
+                primitives_b=_prim_mix(kb.primitive_counts),
+            )
+        )
+    return deltas
+
+
+def format_comparison(a: InferenceResult, b: InferenceResult) -> str:
+    """Render the per-kernel diff as a table."""
+    deltas = compare_runs(a, b)
+    rows = [
+        [d.kernel_id, f"{d.cycles_a:.0f}", f"{d.cycles_b:.0f}",
+         speedup_fmt(d.speedup_of_a), d.primitives_a, d.primitives_b]
+        for d in deltas
+    ]
+    rows.append([
+        "TOTAL", f"{a.total_cycles:.0f}", f"{b.total_cycles:.0f}",
+        speedup_fmt(a.speedup_vs(b)), "", "",
+    ])
+    return format_table(
+        ["kernel", f"{a.strategy_name} cyc", f"{b.strategy_name} cyc",
+         "speedup", f"{a.strategy_name} prims", f"{b.strategy_name} prims"],
+        rows,
+        title=f"{a.model_name}/{a.data_name}: {a.strategy_name} vs {b.strategy_name}",
+    )

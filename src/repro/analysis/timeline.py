@@ -1,0 +1,50 @@
+"""ASCII Gantt rendering of a run's task timeline.
+
+Each Computation Core gets one row; time flows left to right, scaled to a
+fixed terminal width.  Characters encode which kernel a task belongs to
+(cycling a-z), idle time is '.', and the per-kernel barriers of
+Algorithm 8 show up as column-aligned transitions.  Useful for eyeballing
+load balance and tail effects (the reason for §VI-C's eta constraint).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.executor import InferenceResult
+
+
+def render_gantt(
+    result: InferenceResult, *, width: int = 100, max_rows: int = 16
+) -> str:
+    """Render the run's schedule as an ASCII Gantt chart."""
+    events = result.timeline_events
+    if not events:
+        return "(empty timeline)"
+    total = max(e.end for e in events)
+    if total <= 0:
+        return "(zero-length timeline)"
+    num_cores = int(max(e.core for e in events)) + 1
+
+    kernel_ids = []
+    for e in events:
+        if e.kernel_id not in kernel_ids:
+            kernel_ids.append(e.kernel_id)
+    glyph = {kid: chr(ord("a") + i % 26) for i, kid in enumerate(kernel_ids)}
+
+    rows = []
+    for core in range(min(num_cores, max_rows)):
+        cells = ["."] * width
+        for e in events:
+            if e.core != core:
+                continue
+            lo = int(e.start / total * (width - 1))
+            hi = max(int(e.end / total * (width - 1)), lo)
+            for pos in range(lo, hi + 1):
+                cells[pos] = glyph[e.kernel_id]
+        rows.append(f"CC{core:<2d} |" + "".join(cells) + "|")
+
+    legend = "  ".join(f"{glyph[k]}={k}" for k in kernel_ids)
+    header = (
+        f"timeline: {total:.0f} cycles, {len(events)} tasks, "
+        f"{num_cores} cores, load balance {result.load_balance():.3f}"
+    )
+    return "\n".join([header, *rows, f"legend: {legend}"])

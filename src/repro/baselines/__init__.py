@@ -1,0 +1,32 @@
+"""Baseline platforms and implementations (paper §VIII-A, Table V).
+
+The paper compares against PyG/DGL on a Ryzen 3990x CPU and an RTX3090
+GPU, and against the HyGCN and BoostGCN accelerators.  None of that
+hardware is available here, so these baselines are *analytical* roofline
+models parameterised by Table V's platform specs — they capture what those
+systems fundamentally exploit (graph sparsity only; S1-style static
+mapping) and what they cannot (feature/weight sparsity), which is what
+drives the paper's speedup shapes.  A *measured* NumPy/SciPy reference is
+also provided for an honest software datapoint.
+"""
+
+from repro.baselines.platforms import PLATFORMS, PlatformSpec
+from repro.baselines.cpu_gpu import FRAMEWORKS, FrameworkModel, framework_latency
+from repro.baselines.accelerators import (
+    ACCELERATOR_BASELINES,
+    AcceleratorBaseline,
+    accelerator_latency,
+)
+from repro.baselines.reference import measured_reference_seconds
+
+__all__ = [
+    "PLATFORMS",
+    "PlatformSpec",
+    "FRAMEWORKS",
+    "FrameworkModel",
+    "framework_latency",
+    "ACCELERATOR_BASELINES",
+    "AcceleratorBaseline",
+    "accelerator_latency",
+    "measured_reference_seconds",
+]

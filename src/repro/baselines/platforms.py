@@ -1,0 +1,47 @@
+"""Platform specifications (paper Table V).
+
+=============  ==========  ===========  =========  ==========  ============
+Platform       Technology  Frequency    Peak perf  On-chip mem  Memory BW
+=============  ==========  ===========  =========  ==========  ============
+Ryzen 3990x    TSMC 7 nm   2.90 GHz     3.7 TF     256 MB       107 GB/s
+RTX3090        TSMC 7 nm   1.7 GHz      36 TF      6 MB         936.2 GB/s
+HyGCN (ASIC)   TSMC 12 nm  1 GHz        4.608 TF   35.8 MB      256 GB/s
+BoostGCN       Intel 14nm  250 MHz      0.64 TF    32 MB        77 GB/s
+Dynasparse     TSMC 16 nm  250 MHz      0.512 TF   45 MB        77 GB/s
+=============  ==========  ===========  =========  ==========  ============
+
+(Table X additionally quotes BoostGCN at 1.35 TF and HyGCN at 4.6 TF for
+the configurations used in that comparison; those are the numbers the
+accelerator baselines use.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Peak capabilities of one hardware platform."""
+
+    name: str
+    peak_tflops: float
+    mem_bw_gbps: float
+    freq_ghz: float
+    on_chip_mb: float
+    #: device memory capacity for OOM estimation (GB; None = host-sized)
+    memory_gb: float | None = None
+
+    @property
+    def peak_macs_per_s(self) -> float:
+        """Peak multiply-accumulates per second (2 FLOPs per MAC)."""
+        return self.peak_tflops * 1e12 / 2.0
+
+
+PLATFORMS: dict[str, PlatformSpec] = {
+    "cpu": PlatformSpec("Ryzen 3990x", 3.7, 107.0, 2.90, 256.0, memory_gb=256.0),
+    "gpu": PlatformSpec("RTX3090", 36.0, 936.2, 1.7, 6.0, memory_gb=24.0),
+    "hygcn": PlatformSpec("HyGCN", 4.6, 256.0, 1.0, 35.8),
+    "boostgcn": PlatformSpec("BoostGCN", 1.35, 77.0, 0.25, 32.0),
+    "dynasparse": PlatformSpec("Dynasparse", 0.512, 77.0, 0.25, 45.0),
+}

@@ -1,0 +1,36 @@
+"""Measured software baseline: timed NumPy/SciPy full-graph inference.
+
+Unlike the roofline models, this is an honest wall-clock measurement of
+the reference implementation on the machine running the benchmarks — the
+closest available analogue to "a real software framework on a real CPU".
+Benchmarks report it alongside the modelled PyG/DGL numbers so readers
+can separate what was measured from what was modelled.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.datasets.catalog import GraphData
+from repro.gnn.functional import reference_inference
+from repro.gnn.models import ModelSpec
+
+
+def measured_reference_seconds(
+    model: ModelSpec,
+    data: GraphData,
+    weights: dict[str, np.ndarray],
+    *,
+    repeats: int = 3,
+) -> float:
+    """Best-of-``repeats`` wall-clock seconds of reference inference."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        reference_inference(model, data.a, data.h0, weights)
+        best = min(best, time.perf_counter() - t0)
+    return best

@@ -1,0 +1,25 @@
+"""The Dynasparse compiler (paper §IV).
+
+Runs on the host processor and performs the three preprocessing steps of
+Fig. 3/4: (1) parse the model + graph metadata into the IR computation
+graph, (2) choose partition sizes (Algorithm 9) and generate per-kernel
+execution schemes (Algorithms 2/3), (3) profile the compile-time-known
+densities (adjacency, weights, input features) and pick off-chip storage
+formats.  The result is a :class:`~repro.compiler.compile.CompiledProgram`
+— the "optimized IR" handed to the runtime system.
+"""
+
+from repro.compiler.compile import Compiler, CompiledProgram, CompileTimings
+from repro.compiler.parser import parse_model
+from repro.compiler.partitioner import choose_partition_sizes
+from repro.compiler.sparsity import choose_storage_format, profile_matrix
+
+__all__ = [
+    "Compiler",
+    "CompiledProgram",
+    "CompileTimings",
+    "parse_model",
+    "choose_partition_sizes",
+    "choose_storage_format",
+    "profile_matrix",
+]

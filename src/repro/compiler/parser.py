@@ -1,0 +1,25 @@
+"""Input parser: GNN model + graph metadata -> IR computation graph (§IV-B).
+
+Step 1 of the compilation process: the parser consumes the model
+specification (the equivalent of the PyTorch-Geometric model definition in
+Fig. 3) and the graph *metadata* — never the edge data itself — and emits
+the computation graph whose nodes are kernel IRs and whose edges are data
+dependencies.
+"""
+
+from __future__ import annotations
+
+from repro.gnn.layers import GraphMeta
+from repro.gnn.models import ModelSpec
+from repro.ir.graph import ComputationGraph
+
+
+def parse_model(model: ModelSpec, meta: GraphMeta) -> ComputationGraph:
+    """Lower a model into its kernel computation graph (Fig. 3, step 1)."""
+    graph = ComputationGraph()
+    for kernel in model.expand_kernels(meta):
+        graph.add_kernel(kernel)
+    graph.infer_dependencies()
+    # sanity: the lowering must produce an executable (acyclic) graph
+    graph.topo_order()
+    return graph

@@ -1,0 +1,72 @@
+"""Compile-time sparsity preprocessing (paper §III-B, step 1-3).
+
+While partitioning the data, the compiler counts nonzeros per partition of
+the adjacency matrix, the weight matrices and the *input* feature matrix —
+the three operands whose sparsity is known before runtime.  Densities of
+intermediate feature matrices are profiled by the accelerator's Sparsity
+Profiler during execution.
+
+This module also implements the off-chip storage-format policy: a matrix
+(or partition) is stored in COO when that is smaller than dense — the
+break-even density is 1/3 (12 bytes per COO nonzero vs. 4 per dense
+element).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.formats.density import density as matrix_density
+from repro.formats.density import nnz_count, num_elements
+from repro.formats.partition import SPARSE_STORAGE_THRESHOLD, PartitionedMatrix
+
+
+@dataclass(frozen=True)
+class MatrixProfile:
+    """Compile-time profile of one matrix in the store."""
+
+    name: str
+    shape: tuple[int, int]
+    nnz: int
+    density: float
+    stored_sparse: bool
+    stored_bytes: int
+
+
+def choose_storage_format(density: float) -> bool:
+    """True -> store sparse (COO) off-chip; False -> dense."""
+    return density < SPARSE_STORAGE_THRESHOLD
+
+
+def stored_bytes(nnz: int, elements: int, sparse: bool) -> int:
+    return 12 * nnz if sparse else 4 * elements
+
+
+def profile_matrix(name: str, mat) -> MatrixProfile:
+    """Count nonzeros and decide the off-chip format (compiler counters)."""
+    nnz = nnz_count(mat)
+    elements = num_elements(mat)
+    dens = nnz / elements if elements else 0.0
+    sparse = choose_storage_format(dens)
+    return MatrixProfile(
+        name=name,
+        shape=tuple(mat.shape),
+        nnz=nnz,
+        density=dens,
+        stored_sparse=sparse,
+        stored_bytes=stored_bytes(nnz, elements, sparse),
+    )
+
+
+def profile_partitions(pm: PartitionedMatrix) -> dict:
+    """Summary of a partitioned view's density structure (for reports)."""
+    grid = pm.density_grid
+    return {
+        "name": pm.name,
+        "blocks": (pm.num_row_blocks, pm.num_col_blocks),
+        "block_dims": (pm.block_rows, pm.block_cols),
+        "density": pm.density,
+        "min_block_density": float(grid.min()) if grid.size else 0.0,
+        "max_block_density": float(grid.max()) if grid.size else 0.0,
+        "empty_blocks": int((grid == 0).sum()),
+    }

@@ -1,0 +1,38 @@
+"""Data formats, layouts, conversion hardware and partitioning (paper §IV-C, §V-A).
+
+This package provides the matrix-representation substrate of Dynasparse:
+
+- :mod:`repro.formats.dense` / :mod:`repro.formats.coo` — the two storage
+  formats the accelerator understands (dense arrays and COO triples), each
+  tagged with a row-/column-major layout.
+- :mod:`repro.formats.convert` — the Dense-to-Sparse / Sparse-to-Dense
+  hardware modules (Fig. 8's prefix-sum compaction pipeline) with cycle
+  models.
+- :mod:`repro.formats.layout` — the Layout Transformation Unit (streaming
+  permutation network) and the Layout Merger.
+- :mod:`repro.formats.density` — density computation and the adder-tree
+  Sparsity Profiler.
+- :mod:`repro.formats.partition` — the block/fiber/subfiber partitioning of
+  Fig. 5, exposed as :class:`~repro.formats.partition.PartitionedMatrix`.
+"""
+
+from repro.formats.dense import DenseMatrix, Layout
+from repro.formats.coo import COOMatrix
+from repro.formats.density import density, nnz_count, SparsityProfiler
+from repro.formats.partition import PartitionedMatrix
+from repro.formats.convert import DenseToSparseModule, SparseToDenseModule
+from repro.formats.layout import LayoutTransformationUnit, LayoutMerger
+
+__all__ = [
+    "DenseMatrix",
+    "Layout",
+    "COOMatrix",
+    "density",
+    "nnz_count",
+    "SparsityProfiler",
+    "PartitionedMatrix",
+    "DenseToSparseModule",
+    "SparseToDenseModule",
+    "LayoutTransformationUnit",
+    "LayoutMerger",
+]

@@ -1,0 +1,76 @@
+"""CSR helpers used by the *functional* half of the simulator.
+
+The hardware model speaks dense/COO (what the paper's buffers hold); the
+functional computation underneath uses ``scipy.sparse`` CSR because it is
+the fastest representation for the actual matrix products.  These helpers
+centralise conversions and a few row-wise queries the cycle models need
+(e.g. exact per-row nonzero counts for the SPMM MAC count).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.formats.dense import DTYPE
+
+MatrixLike = Union[np.ndarray, sp.spmatrix]
+
+
+def as_csr(mat: MatrixLike) -> sp.csr_matrix:
+    """Convert any 2-D matrix-like to float32 CSR without copying when possible."""
+    if sp.issparse(mat):
+        csr = mat.tocsr()
+        if csr.dtype != DTYPE:
+            csr = csr.astype(DTYPE)
+        return csr
+    arr = np.asarray(mat, dtype=DTYPE)
+    if arr.ndim != 2:
+        raise ValueError("expected a 2-D matrix")
+    return sp.csr_matrix(arr)
+
+
+def as_dense(mat: MatrixLike) -> np.ndarray:
+    """Convert any 2-D matrix-like to a float32 ndarray."""
+    if sp.issparse(mat):
+        return np.asarray(mat.todense(), dtype=DTYPE)
+    return np.asarray(mat, dtype=DTYPE)
+
+
+def nnz(mat: MatrixLike) -> int:
+    if sp.issparse(mat):
+        # count explicitly stored zeros out
+        return int(np.count_nonzero(mat.data)) if mat.nnz else 0
+    return int(np.count_nonzero(mat))
+
+
+def row_nnz(mat: MatrixLike) -> np.ndarray:
+    """Exact number of (numerically) nonzero entries in each row."""
+    if sp.issparse(mat):
+        csr = mat.tocsr()
+        if csr.nnz and np.any(csr.data == 0):
+            csr = csr.copy()
+            csr.eliminate_zeros()
+        return np.diff(csr.indptr)
+    return np.count_nonzero(np.asarray(mat), axis=1)
+
+
+def eliminate_zeros(mat: sp.csr_matrix) -> sp.csr_matrix:
+    """Drop explicitly-stored zeros (hardware never stores them in COO)."""
+    out = mat.copy()
+    out.eliminate_zeros()
+    return out
+
+
+def matmul(x: MatrixLike, y: MatrixLike) -> np.ndarray:
+    """Ground-truth product as a dense float32 array (the Result Buffer view)."""
+    if sp.issparse(x) and sp.issparse(y):
+        return np.asarray((x @ y).todense(), dtype=DTYPE)
+    if sp.issparse(x):
+        return np.asarray(x @ as_dense(y), dtype=DTYPE)
+    if sp.issparse(y):
+        # dense @ sparse: compute (y.T @ x.T).T to stay in sparse-friendly form
+        return np.asarray((y.T @ as_dense(x).T).T, dtype=DTYPE)
+    return np.asarray(as_dense(x) @ as_dense(y), dtype=DTYPE)

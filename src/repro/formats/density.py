@@ -1,0 +1,100 @@
+"""Density computation and the hardware Sparsity Profiler (paper §II-B, §V-B2).
+
+The paper defines density as *"the total number of non-zero elements
+divided by the total number of elements"* (sparsity = 1 - density).  The
+Sparsity Profiler sits at the output port of the Result Buffer: a
+comparator array feeding an adder tree counts nonzeros as ``Z`` streams
+out, ``width`` elements per cycle, so profiling is fully overlapped with
+the write-back (§V-B3) — the executor records its cycles but they never
+extend the critical path when double buffering is on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.formats.coo import COOMatrix
+from repro.formats.dense import DenseMatrix
+
+MatrixLike = Union[np.ndarray, sp.spmatrix, DenseMatrix, COOMatrix]
+
+
+def nnz_count(mat: MatrixLike) -> int:
+    """Exact number of numerically-nonzero elements of any matrix type."""
+    if isinstance(mat, DenseMatrix):
+        return mat.nnz
+    if isinstance(mat, COOMatrix):
+        return int(np.count_nonzero(mat.val))
+    if sp.issparse(mat):
+        return int(np.count_nonzero(mat.data)) if mat.nnz else 0
+    return int(np.count_nonzero(np.asarray(mat)))
+
+
+def num_elements(mat: MatrixLike) -> int:
+    if isinstance(mat, (DenseMatrix, COOMatrix)):
+        m, n = mat.shape
+        return m * n
+    if sp.issparse(mat):
+        return mat.shape[0] * mat.shape[1]
+    return np.asarray(mat).size
+
+
+def density(mat: MatrixLike) -> float:
+    """Density in [0, 1]: nnz / total elements (paper §II-B)."""
+    total = num_elements(mat)
+    if total == 0:
+        return 0.0
+    return nnz_count(mat) / total
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Result of one hardware profiling pass."""
+
+    nnz: int
+    elements: int
+    density: float
+    cycles: int
+
+
+class SparsityProfiler:
+    """Adder-tree nonzero counter at the Result Buffer output port.
+
+    Parameters
+    ----------
+    width:
+        Comparators per cycle (matches the Result Buffer port width,
+        ``psys`` in the implementation).
+    """
+
+    def __init__(self, width: int = 16) -> None:
+        if width < 1 or width & (width - 1):
+            raise ValueError(f"profiler width must be a power of two, got {width}")
+        self.width = width
+
+    @property
+    def adder_tree_depth(self) -> int:
+        return int(math.log2(self.width)) if self.width > 1 else 1
+
+    def cycles_for(self, elements: int) -> int:
+        if elements == 0:
+            return 0
+        return math.ceil(elements / self.width) + self.adder_tree_depth
+
+    def profile(self, mat: MatrixLike) -> ProfileReport:
+        """Count nonzeros the way the hardware does (streaming pass)."""
+        nnz = nnz_count(mat)
+        total = num_elements(mat)
+        # a sparse-format matrix streams out nnz elements; dense streams all
+        streamed = nnz if isinstance(mat, COOMatrix) or sp.issparse(mat) else total
+        return ProfileReport(
+            nnz=nnz,
+            elements=total,
+            density=(nnz / total if total else 0.0),
+            cycles=self.cycles_for(streamed),
+        )

@@ -1,0 +1,44 @@
+"""GNN model library: the four models the paper evaluates (§VIII-A).
+
+- :mod:`repro.gnn.models` — builders for 2-layer GCN, GraphSAGE, GIN and
+  SGC, each expanding to the kernel sequence of Fig. 10;
+- :mod:`repro.gnn.adjacency` — the preprocessed adjacency operands that
+  fold each model's aggregation operator into a plain matrix product;
+- :mod:`repro.gnn.functional` — an independent NumPy/SciPy reference
+  implementation of full-graph inference (the simulator's ground truth);
+- :mod:`repro.gnn.pruning` — magnitude pruning of weight matrices for the
+  §VIII-B pruned-model sweeps.
+"""
+
+from repro.gnn.models import (
+    ModelSpec,
+    build_gcn,
+    build_sage,
+    build_gin,
+    build_sgc,
+    build_model,
+    init_weights,
+    MODEL_NAMES,
+)
+from repro.gnn.functional import reference_inference, layerwise_feature_densities
+from repro.gnn.pruning import prune_to_sparsity, prune_weights
+from repro.gnn.adjacency import gcn_norm, mean_norm, gin_adj, build_adjacency_variants
+
+__all__ = [
+    "ModelSpec",
+    "build_gcn",
+    "build_sage",
+    "build_gin",
+    "build_sgc",
+    "build_model",
+    "init_weights",
+    "MODEL_NAMES",
+    "reference_inference",
+    "layerwise_feature_densities",
+    "prune_to_sparsity",
+    "prune_weights",
+    "gcn_norm",
+    "mean_norm",
+    "gin_adj",
+    "build_adjacency_variants",
+]

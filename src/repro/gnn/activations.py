@@ -1,0 +1,40 @@
+"""Element-wise activations (Table II: ReLU, PReLU).
+
+Activations run on the write-back stream inside the ALU path, so they add
+no cycles in the hardware model; functionally they matter a lot — ReLU is
+what re-sparsifies the feature matrices between layers (Fig. 2), which is
+exactly the dynamic sparsity the runtime exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.formats.dense import DTYPE
+from repro.ir.kernel import Activation
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, DTYPE(0.0))
+
+
+def prelu(x: np.ndarray, alpha: float = 0.25) -> np.ndarray:
+    return np.where(x >= 0, x, DTYPE(alpha) * x).astype(DTYPE)
+
+
+def activation_fn(kind: Activation, alpha: float = 0.25) -> Optional[Callable[[np.ndarray], np.ndarray]]:
+    """Resolve an :class:`~repro.ir.kernel.Activation` to a callable."""
+    if kind is Activation.NONE:
+        return None
+    if kind is Activation.RELU:
+        return relu
+    if kind is Activation.PRELU:
+        return lambda x: prelu(x, alpha)
+    raise ValueError(f"unknown activation {kind}")
+
+
+def apply_activation(kind: Activation, x: np.ndarray, alpha: float = 0.25) -> np.ndarray:
+    fn = activation_fn(kind, alpha)
+    return x if fn is None else fn(x)

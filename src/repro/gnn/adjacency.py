@@ -1,0 +1,75 @@
+"""Preprocessed adjacency operands for the Aggregate kernel.
+
+The Aggregate kernel is a matrix product ``H_out = A_hat @ H_in`` (paper
+§III-A).  Each model's aggregation operator is folded into ``A_hat`` at
+compile time, the standard trick all full-graph frameworks use:
+
+- **GCN / SGC** (sum with symmetric normalisation):
+  ``A_hat = D^{-1/2} (A + I) D^{-1/2}`` (Kipf & Welling);
+- **GraphSAGE** (mean over neighbours): ``A_hat = D^{-1} A``;
+- **GIN** (sum plus weighted self-loop): ``A_hat = A + (1 + eps) I``.
+
+All variants are float32 CSR.  The compiler stores whichever variants the
+model's layers reference under the names returned by
+:func:`build_adjacency_variants`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.formats.csr import as_csr, MatrixLike
+from repro.formats.dense import DTYPE
+
+
+def _degrees(a: sp.csr_matrix) -> np.ndarray:
+    return np.asarray(a.sum(axis=1)).ravel()
+
+
+def gcn_norm(a: MatrixLike) -> sp.csr_matrix:
+    """Symmetric GCN normalisation with self-loops: D^-1/2 (A+I) D^-1/2."""
+    a = as_csr(a)
+    n = a.shape[0]
+    a_hat = (a + sp.identity(n, dtype=DTYPE, format="csr")).tocsr()
+    deg = _degrees(a_hat)
+    with np.errstate(divide="ignore"):
+        d_inv_sqrt = np.where(deg > 0, 1.0 / np.sqrt(deg), 0.0)
+    d_mat = sp.diags(d_inv_sqrt.astype(DTYPE))
+    return (d_mat @ a_hat @ d_mat).tocsr().astype(DTYPE)
+
+
+def mean_norm(a: MatrixLike) -> sp.csr_matrix:
+    """Row-normalised adjacency D^-1 A (GraphSAGE mean aggregator)."""
+    a = as_csr(a)
+    deg = _degrees(a)
+    with np.errstate(divide="ignore"):
+        d_inv = np.where(deg > 0, 1.0 / deg, 0.0)
+    return (sp.diags(d_inv.astype(DTYPE)) @ a).tocsr().astype(DTYPE)
+
+
+def gin_adj(a: MatrixLike, eps: float = 0.0) -> sp.csr_matrix:
+    """GIN aggregation operand: A + (1 + eps) I."""
+    a = as_csr(a)
+    n = a.shape[0]
+    return (
+        a + DTYPE(1.0 + eps) * sp.identity(n, dtype=DTYPE, format="csr")
+    ).tocsr().astype(DTYPE)
+
+
+#: adjacency-variant name -> builder
+ADJACENCY_BUILDERS = {
+    "A_norm": gcn_norm,
+    "A_mean": mean_norm,
+    "A_gin": gin_adj,
+}
+
+
+def build_adjacency_variants(a: MatrixLike, names: set[str]) -> dict[str, sp.csr_matrix]:
+    """Materialise the requested preprocessed adjacency matrices."""
+    out = {}
+    for name in names:
+        if name not in ADJACENCY_BUILDERS:
+            raise KeyError(f"unknown adjacency variant {name!r}")
+        out[name] = ADJACENCY_BUILDERS[name](a)
+    return out

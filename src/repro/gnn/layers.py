@@ -1,0 +1,200 @@
+"""Layer specifications and their kernel expansion (paper Fig. 10).
+
+Each :class:`LayerSpec` knows how to expand itself into the Aggregate /
+Update kernel sequence the paper's compiler generates:
+
+- **GCN layer**: Update -> Aggregate.  (Fig. 10's rendering is ambiguous,
+  but §VIII-B states the *first Update(H0, W1) kernel of GCN* dominates
+  execution, i.e. the evaluated order computes ``(H W)`` before
+  aggregation — the standard PyG order when f_hidden < f_in.)
+- **GraphSAGE layer**: Update (root weight) in parallel with
+  Aggregate -> Update (neighbour weight); the branches combine by
+  accumulation in the Result Buffer.
+- **GIN layer**: Aggregate (with ``A + (1+eps) I``) -> Update -> Update
+  (the 2-layer MLP).
+- **SGC layer**: Aggregate x K -> Update.
+
+The activation of a layer applies to the last kernel of the layer;
+GIN's MLP additionally applies ReLU between its two Updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ir.kernel import Activation, AggOp, KernelIR, KernelType
+
+
+@dataclass(frozen=True)
+class GraphMeta:
+    """The graph metadata the compiler needs (it never sees edge data)."""
+
+    num_vertices: int
+    num_edges: int
+
+
+@dataclass
+class LayerSpec:
+    """One GNN layer: kind, dimensions and activation."""
+
+    kind: str  # "gcn" | "sage" | "gin" | "sgc"
+    in_dim: int
+    out_dim: int
+    activation: Activation = Activation.NONE
+    #: GIN epsilon
+    eps: float = 0.0
+    #: SGC propagation hops K
+    hops: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kind not in {"gcn", "sage", "gin", "sgc"}:
+            raise ValueError(f"unknown layer kind {self.kind!r}")
+        if self.in_dim < 1 or self.out_dim < 1:
+            raise ValueError("layer dimensions must be positive")
+
+    # -- weights -----------------------------------------------------------
+    def weight_shapes(self, layer_id: int) -> dict[str, tuple[int, int]]:
+        """Weight-matrix names (global) and shapes for this layer."""
+        l = layer_id
+        if self.kind == "gcn" or self.kind == "sgc":
+            return {f"W{l}": (self.in_dim, self.out_dim)}
+        if self.kind == "sage":
+            return {
+                f"W{l}_root": (self.in_dim, self.out_dim),
+                f"W{l}_neigh": (self.in_dim, self.out_dim),
+            }
+        # gin: 2-layer MLP with hidden width = out_dim
+        return {
+            f"W{l}_mlp1": (self.in_dim, self.out_dim),
+            f"W{l}_mlp2": (self.out_dim, self.out_dim),
+        }
+
+    # -- adjacency ------------------------------------------------------------
+    @property
+    def adjacency_name(self) -> str:
+        return {
+            "gcn": "A_norm",
+            "sgc": "A_norm",
+            "sage": "A_mean",
+            "gin": "A_gin",
+        }[self.kind]
+
+    @property
+    def agg_op(self) -> AggOp:
+        return AggOp.MEAN if self.kind == "sage" else AggOp.SUM
+
+    # -- kernel expansion (Fig. 10) -------------------------------------------------
+    def expand(
+        self, layer_id: int, input_name: str, output_name: str, meta: GraphMeta
+    ) -> list[KernelIR]:
+        """Lower this layer to its kernel sequence."""
+        mk = _KernelFactory(self, layer_id, meta)
+        if self.kind == "gcn":
+            t = f"h{layer_id}_upd"
+            return [
+                mk.update(f"L{layer_id}.update", input_name, f"W{layer_id}", t,
+                          self.in_dim, self.out_dim),
+                mk.aggregate(f"L{layer_id}.agg", t, output_name, self.out_dim,
+                             activation=self.activation),
+            ]
+        if self.kind == "sage":
+            root_out = f"h{layer_id}_root"
+            agg_out = f"h{layer_id}_agg"
+            return [
+                mk.update(f"L{layer_id}.update_root", input_name,
+                          f"W{layer_id}_root", root_out, self.in_dim, self.out_dim),
+                mk.aggregate(f"L{layer_id}.agg", input_name, agg_out, self.in_dim),
+                mk.update(f"L{layer_id}.update_neigh", agg_out,
+                          f"W{layer_id}_neigh", output_name, self.in_dim,
+                          self.out_dim, activation=self.activation,
+                          accumulate_into=root_out),
+            ]
+        if self.kind == "gin":
+            agg_out = f"h{layer_id}_agg"
+            mlp_mid = f"h{layer_id}_mlp1"
+            return [
+                mk.aggregate(f"L{layer_id}.agg", input_name, agg_out, self.in_dim),
+                mk.update(f"L{layer_id}.mlp1", agg_out, f"W{layer_id}_mlp1",
+                          mlp_mid, self.in_dim, self.out_dim,
+                          activation=Activation.RELU),
+                mk.update(f"L{layer_id}.mlp2", mlp_mid, f"W{layer_id}_mlp2",
+                          output_name, self.out_dim, self.out_dim,
+                          activation=self.activation),
+            ]
+        # sgc: K aggregates then one update, no nonlinearity inside
+        kernels: list[KernelIR] = []
+        cur = input_name
+        for hop in range(1, self.hops + 1):
+            nxt = f"h{layer_id}_hop{hop}"
+            kernels.append(
+                mk.aggregate(f"L{layer_id}.agg{hop}", cur, nxt, self.in_dim)
+            )
+            cur = nxt
+        kernels.append(
+            mk.update(f"L{layer_id}.update", cur, f"W{layer_id}", output_name,
+                      self.in_dim, self.out_dim, activation=self.activation)
+        )
+        return kernels
+
+
+class _KernelFactory:
+    """Internal helper that stamps shared metadata onto kernels."""
+
+    def __init__(self, layer: LayerSpec, layer_id: int, meta: GraphMeta) -> None:
+        self.layer = layer
+        self.layer_id = layer_id
+        self.meta = meta
+
+    def aggregate(
+        self,
+        kernel_id: str,
+        h_name: str,
+        out_name: str,
+        dim: int,
+        activation: Activation = Activation.NONE,
+    ) -> KernelIR:
+        return KernelIR(
+            kernel_id=kernel_id,
+            layer_id=self.layer_id,
+            ktype=KernelType.AGGREGATE,
+            input_dim=dim,
+            output_dim=dim,
+            num_vertices=self.meta.num_vertices,
+            num_edges=self.meta.num_edges,
+            x_name=self.layer.adjacency_name,
+            y_name=h_name,
+            out_name=out_name,
+            agg_op=self.layer.agg_op,
+            activation=activation,
+            activation_enabled=activation is not Activation.NONE,
+        )
+
+    def update(
+        self,
+        kernel_id: str,
+        h_name: str,
+        w_name: str,
+        out_name: str,
+        in_dim: int,
+        out_dim: int,
+        activation: Activation = Activation.NONE,
+        accumulate_into: str | None = None,
+    ) -> KernelIR:
+        return KernelIR(
+            kernel_id=kernel_id,
+            layer_id=self.layer_id,
+            ktype=KernelType.UPDATE,
+            input_dim=in_dim,
+            output_dim=out_dim,
+            num_vertices=self.meta.num_vertices,
+            num_edges=self.meta.num_edges,
+            x_name=h_name,
+            y_name=w_name,
+            out_name=out_name,
+            agg_op=self.layer.agg_op,
+            activation=activation,
+            activation_enabled=activation is not Activation.NONE,
+            accumulate_into=accumulate_into,
+        )

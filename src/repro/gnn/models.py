@@ -1,0 +1,135 @@
+"""Model builders for the paper's four benchmarks (§VIII-A, Fig. 10).
+
+The evaluation uses 2-layer GCN / GraphSAGE / GIN models and a 2-hop SGC,
+with hidden dimension 16 for CiteSeer/Cora/PubMed and 128 for
+Flickr/NELL/Reddit.  :func:`build_model` dispatches by the paper's model
+names; :func:`init_weights` creates seeded Glorot-uniform float32 weights
+(inference latency is value-independent; only shapes and — after pruning —
+sparsity patterns matter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.formats.dense import DTYPE
+from repro.gnn.layers import GraphMeta, LayerSpec
+from repro.ir.kernel import Activation, KernelIR
+
+MODEL_NAMES = ("GCN", "GraphSAGE", "GIN", "SGC")
+
+
+@dataclass
+class ModelSpec:
+    """A GNN model: an ordered list of layers plus naming metadata."""
+
+    name: str
+    layers: list[LayerSpec]
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError("a model needs at least one layer")
+        for prev, nxt in zip(self.layers, self.layers[1:]):
+            if prev.out_dim != nxt.in_dim:
+                raise ValueError(
+                    f"layer dim mismatch: {prev.out_dim} -> {nxt.in_dim}"
+                )
+
+    @property
+    def in_dim(self) -> int:
+        return self.layers[0].in_dim
+
+    @property
+    def out_dim(self) -> int:
+        return self.layers[-1].out_dim
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def weight_shapes(self) -> dict[str, tuple[int, int]]:
+        shapes: dict[str, tuple[int, int]] = {}
+        for idx, layer in enumerate(self.layers, start=1):
+            shapes.update(layer.weight_shapes(idx))
+        return shapes
+
+    def adjacency_names(self) -> set[str]:
+        return {layer.adjacency_name for layer in self.layers}
+
+    def expand_kernels(self, meta: GraphMeta) -> list[KernelIR]:
+        """Lower all layers to the kernel sequence of Fig. 10."""
+        kernels: list[KernelIR] = []
+        cur = "H0"
+        for idx, layer in enumerate(self.layers, start=1):
+            out = f"H{idx}" if idx < len(self.layers) else "H_out"
+            kernels.extend(layer.expand(idx, cur, out, meta))
+            cur = out
+        return kernels
+
+
+def build_gcn(in_dim: int, hidden_dim: int, out_dim: int) -> ModelSpec:
+    """2-layer GCN (Kipf & Welling), ReLU between layers."""
+    return ModelSpec(
+        "GCN",
+        [
+            LayerSpec("gcn", in_dim, hidden_dim, activation=Activation.RELU),
+            LayerSpec("gcn", hidden_dim, out_dim, activation=Activation.NONE),
+        ],
+    )
+
+
+def build_sage(in_dim: int, hidden_dim: int, out_dim: int) -> ModelSpec:
+    """2-layer GraphSAGE with mean aggregation and root/neighbour weights."""
+    return ModelSpec(
+        "GraphSAGE",
+        [
+            LayerSpec("sage", in_dim, hidden_dim, activation=Activation.RELU),
+            LayerSpec("sage", hidden_dim, out_dim, activation=Activation.NONE),
+        ],
+    )
+
+
+def build_gin(in_dim: int, hidden_dim: int, out_dim: int, eps: float = 0.0) -> ModelSpec:
+    """2-layer GIN; each layer applies a 2-layer MLP after sum aggregation."""
+    return ModelSpec(
+        "GIN",
+        [
+            LayerSpec("gin", in_dim, hidden_dim, activation=Activation.RELU, eps=eps),
+            LayerSpec("gin", hidden_dim, out_dim, activation=Activation.NONE, eps=eps),
+        ],
+    )
+
+
+def build_sgc(in_dim: int, out_dim: int, hops: int = 2) -> ModelSpec:
+    """SGC: K propagation hops followed by a single linear update."""
+    return ModelSpec(
+        "SGC",
+        [LayerSpec("sgc", in_dim, out_dim, activation=Activation.NONE, hops=hops)],
+    )
+
+
+def build_model(
+    name: str, in_dim: int, hidden_dim: int, out_dim: int, **kwargs
+) -> ModelSpec:
+    """Build one of the paper's models by name."""
+    if name == "GCN":
+        return build_gcn(in_dim, hidden_dim, out_dim)
+    if name == "GraphSAGE":
+        return build_sage(in_dim, hidden_dim, out_dim)
+    if name == "GIN":
+        return build_gin(in_dim, hidden_dim, out_dim, **kwargs)
+    if name == "SGC":
+        return build_sgc(in_dim, out_dim, **kwargs)
+    raise ValueError(f"unknown model {name!r}; expected one of {MODEL_NAMES}")
+
+
+def init_weights(model: ModelSpec, seed: int = 0) -> dict[str, np.ndarray]:
+    """Seeded Glorot-uniform weights for every weight matrix of the model."""
+    rng = np.random.default_rng(seed)
+    out: dict[str, np.ndarray] = {}
+    for name, (fan_in, fan_out) in model.weight_shapes().items():
+        bound = np.sqrt(6.0 / (fan_in + fan_out))
+        out[name] = rng.uniform(-bound, bound, size=(fan_in, fan_out)).astype(DTYPE)
+    return out

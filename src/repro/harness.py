@@ -1,0 +1,81 @@
+"""Shared helpers for the benchmark harness: paper-style formatting.
+
+The paper reports latencies in scientific notation like ``7.7E-3`` (ms)
+and speedups as ``41.3x`` with geometric-mean averages.  These helpers
+render our tables the same way so EXPERIMENTS.md can put paper rows and
+measured rows side by side.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.runtime.stats import geomean  # re-exported for benchmarks
+
+__all__ = [
+    "sci",
+    "speedup_fmt",
+    "format_table",
+    "geomean",
+    "results_dir",
+    "write_result",
+]
+
+
+def sci(value: float | None, digits: int = 2) -> str:
+    """Paper-style scientific notation: 7.7E-3 (None -> N/A)."""
+    if value is None:
+        return "N/A"
+    if value == 0:
+        return "0.0E0"
+    exp = math.floor(math.log10(abs(value)))
+    mant = value / 10**exp
+    return f"{mant:.{max(digits - 1, 0)}f}E{exp:d}"
+
+
+def speedup_fmt(value: float | None) -> str:
+    if value is None:
+        return "N/A"
+    if value >= 100:
+        return f"{value:.0f}x"
+    return f"{value:.2f}x"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+    """Plain-text table with right-aligned numeric-ish columns."""
+    rows = [[str(c) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "  ".join("-" * w for w in widths)
+    lines.append("  ".join(h.ljust(w) if i == 0 else h.rjust(w)
+                           for i, (h, w) in enumerate(zip(headers, widths))))
+    lines.append(sep)
+    for row in rows:
+        lines.append(
+            "  ".join(c.ljust(w) if i == 0 else c.rjust(w)
+                      for i, (c, w) in enumerate(zip(row, widths)))
+        )
+    return "\n".join(lines)
+
+
+def results_dir() -> Path:
+    """Directory benchmark outputs are written to (created on demand)."""
+    root = Path(os.environ.get("REPRO_RESULTS_DIR", Path(__file__).resolve().parents[2] / "results"))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def write_result(name: str, content: str) -> Path:
+    """Persist a benchmark's rendered table under results/<name>.txt."""
+    path = results_dir() / f"{name}.txt"
+    path.write_text(content + "\n")
+    return path

@@ -1,0 +1,29 @@
+"""Heterogeneous execution — the paper's stated future work (§IX).
+
+    "In the future, we plan to extend Dynasparse on heterogeneous
+    platforms that consist of CPU, GPU and FPGA, where GPU is effective
+    for dense primitives, FPGA is effective for sparse primitives and
+    the CPU can execute complex control flow (e.g., dynamic K2P
+    mapping)."
+
+:mod:`repro.hetero` implements exactly that split on top of the existing
+substrate: the same compiler and Analyzer, but a
+:class:`~repro.hetero.executor.HeterogeneousRuntime` that routes each
+partition pair to a *device* — GEMM-mapped pairs to a GPU model (high
+peak FLOPS, high kernel-launch cost), SpDMM/SPMM-mapped pairs to the
+simulated FPGA accelerator — while the K2P control flow runs on the host
+CPU at zero marginal cost.  A device-crossing penalty models the PCIe
+hop a tensor takes when consecutive pairs of one task land on different
+devices.
+"""
+
+from repro.hetero.devices import DeviceModel, GPU_DEVICE, FPGA_DEVICE
+from repro.hetero.executor import HeterogeneousRuntime, HeteroResult
+
+__all__ = [
+    "DeviceModel",
+    "GPU_DEVICE",
+    "FPGA_DEVICE",
+    "HeterogeneousRuntime",
+    "HeteroResult",
+]

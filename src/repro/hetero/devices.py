@@ -1,0 +1,81 @@
+"""Device models for heterogeneous execution (paper §IX).
+
+Each :class:`DeviceModel` prices one partition-pair multiplication in
+seconds.  The GPU is a dense-throughput machine: enormous MAC rate,
+meaningful per-launch overhead, and no benefit from operand sparsity
+(its tensor pipelines run dense tiles).  The FPGA device wraps the
+cycle model of the simulated Computation Core: modest peak, but
+sparsity-proportional work for SpDMM/SPMM.
+
+The numbers default to Table V's RTX3090 and U250 columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import AcceleratorConfig, u250_default
+from repro.hw.gemm_unit import gemm_compute_cycles
+from repro.hw.report import Primitive
+from repro.hw.spdmm_unit import spdmm_compute_cycles
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Latency model of one device for one partition pair."""
+
+    name: str
+    #: peak multiply-accumulates per second
+    peak_macs_per_s: float
+    #: sustained fraction of peak on dense tiles
+    dense_efficiency: float
+    #: fixed cost of issuing one kernel/pair to this device
+    launch_overhead_s: float
+    #: seconds to move one byte onto the device (PCIe), charged when a
+    #: pair's operands last lived on another device
+    transfer_s_per_byte: float
+
+    def pair_seconds(
+        self,
+        primitive: Primitive,
+        m: int,
+        n: int,
+        d: int,
+        nnz_sparse: int,
+        config: AcceleratorConfig,
+    ) -> float:
+        """Execution time of one pair on this device."""
+        if primitive is Primitive.SKIP:
+            return 0.0
+        if self.name == "FPGA":
+            # use the accelerator's own cycle model (single core)
+            if primitive is Primitive.GEMM:
+                cycles = gemm_compute_cycles(m, n, d, config)
+            elif primitive is Primitive.SPDMM:
+                cycles = spdmm_compute_cycles(nnz_sparse, d, config)
+            else:  # SPMM estimated via the Table IV model
+                alpha = nnz_sparse / max(m * n, 1)
+                cycles = alpha * m * n * d / config.psys
+            return cycles / config.freq_hz + self.launch_overhead_s
+        # GPU: dense tiles regardless of sparsity
+        macs = m * n * d
+        return macs / (self.peak_macs_per_s * self.dense_efficiency) + (
+            self.launch_overhead_s
+        )
+
+
+GPU_DEVICE = DeviceModel(
+    name="GPU",
+    peak_macs_per_s=18e12,  # 36 TFLOPS / 2
+    dense_efficiency=0.55,
+    launch_overhead_s=8e-6,
+    transfer_s_per_byte=1.0 / 31.5e9,  # RTX3090 PCIe (paper §VIII-D)
+)
+
+FPGA_DEVICE = DeviceModel(
+    name="FPGA",
+    peak_macs_per_s=0.256e12,
+    dense_efficiency=1.0,
+    launch_overhead_s=0.2e-6,
+    transfer_s_per_byte=1.0 / 11.2e9,  # U250 PCIe (paper §VIII-D)
+)

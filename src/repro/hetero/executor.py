@@ -1,0 +1,175 @@
+"""Heterogeneous runtime: route primitives to the device that likes them.
+
+Implements the §IX vision on the existing substrate: the host CPU runs
+the Analyzer (Algorithm 7) over the compiled program's density tables,
+then each partition pair executes on the device its primitive prefers —
+GEMM on the GPU model, SpDMM/SPMM on the FPGA model — with a PCIe
+transfer charged whenever a task's accumulator changes device.
+
+This is an analytical what-if executor (it prices the schedule without
+recomputing the numerics, which the homogeneous simulator already
+validates); it answers the design question the paper poses: *when does
+adding a dense-throughput device help a sparsity-adaptive system?*
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.compiler.compile import CompiledProgram
+from repro.formats.csr import matmul
+from repro.formats.dense import DTYPE
+from repro.formats.partition import PartitionedMatrix
+from repro.gnn.activations import activation_fn
+from repro.hetero.devices import DeviceModel, FPGA_DEVICE, GPU_DEVICE
+from repro.hw.report import Primitive
+from repro.runtime.analyzer import Analyzer, PairInfo
+
+
+def materialize_intermediates(program: CompiledProgram) -> dict:
+    """Functionally execute the program to obtain every intermediate
+    feature matrix (their densities are what the Analyzer consumes).
+
+    Mirrors the runtime's dataflow: ``out = activation(X @ Y [+ acc])``
+    per kernel, in topological order.  Very sparse products stay sparse.
+    """
+    store = dict(program.store)
+    for kernel in program.graph.topo_order():
+        x, y = store[kernel.x_name], store[kernel.y_name]
+        if sp.issparse(x) and sp.issparse(y) and kernel.output_dim > 4096:
+            out = (x @ y).tocsr()
+        else:
+            out = matmul(x, y)
+        if kernel.accumulate_into:
+            acc = store[kernel.accumulate_into]
+            out = out + (acc.toarray() if sp.issparse(acc) else acc)
+        if kernel.activation_enabled:
+            fn = activation_fn(kernel.activation)
+            if fn is not None:
+                if sp.issparse(out):
+                    out = out.copy()
+                    out.data = fn(out.data)
+                else:
+                    out = fn(np.asarray(out, dtype=DTYPE))
+        store[kernel.out_name] = out
+    return store
+
+
+@dataclass
+class HeteroResult:
+    """Outcome of a heterogeneous schedule."""
+
+    total_seconds: float
+    device_seconds: dict
+    device_pairs: Counter
+    transfer_seconds: float
+    primitive_counts: Counter
+
+    @property
+    def latency_ms(self) -> float:
+        return self.total_seconds * 1e3
+
+    def dominant_device(self) -> str:
+        return max(self.device_seconds, key=self.device_seconds.get)
+
+
+class HeterogeneousRuntime:
+    """Prices a compiled program on a CPU + GPU + FPGA platform."""
+
+    def __init__(
+        self,
+        gpu: DeviceModel = GPU_DEVICE,
+        fpga: DeviceModel = FPGA_DEVICE,
+        *,
+        fpga_parallel_cores: int | None = None,
+    ) -> None:
+        self.gpu = gpu
+        self.fpga = fpga
+        self.fpga_parallel_cores = fpga_parallel_cores
+
+    def device_for(self, primitive: Primitive) -> DeviceModel:
+        """§IX routing rule: dense primitives -> GPU, sparse -> FPGA."""
+        return self.gpu if primitive is Primitive.GEMM else self.fpga
+
+    def run(self, program: CompiledProgram) -> HeteroResult:
+        cfg = program.config
+        analyzer = Analyzer(cfg)
+        cores = self.fpga_parallel_cores or cfg.num_cores
+
+        store = materialize_intermediates(program)
+        views: dict = {}
+
+        def view(name: str, br: int, bc: int) -> PartitionedMatrix:
+            key = (name, br, bc)
+            if key not in views:
+                views[key] = PartitionedMatrix(store[name], br, bc, name=name)
+            return views[key]
+
+        device_seconds = {self.gpu.name: 0.0, self.fpga.name: 0.0}
+        device_pairs: Counter = Counter()
+        prims: Counter = Counter()
+        transfer_s = 0.0
+        total_s = 0.0
+
+        for kernel in program.graph.topo_order():
+            scheme = kernel.exec_scheme
+            xv = view(kernel.x_name, *scheme.x_blocking)
+            yv = view(kernel.y_name, *scheme.y_blocking)
+            x_dens, y_dens = xv.density_grid, yv.density_grid
+            x_nnz, y_nnz = xv._nnz_grid, yv._nnz_grid
+            x_rs, x_cs = xv.row_block_sizes, xv.col_block_sizes
+            y_cs = yv.col_block_sizes
+
+            kernel_s = 0.0
+            for task in scheme.tasks():
+                i, k = task.out_row, task.out_col
+                m, d = int(x_rs[i]), int(y_cs[k])
+                prev_device: str | None = None
+                for j, _ in task.pairs:
+                    info = PairInfo(
+                        float(x_dens[i, j]), float(y_dens[j, k]),
+                        m, int(x_cs[j]), d,
+                    )
+                    decision = analyzer.decide(info)
+                    prims[decision.primitive] += 1
+                    if decision.primitive is Primitive.SKIP:
+                        continue
+                    dev = self.device_for(decision.primitive)
+                    nnz_sparse = int(min(x_nnz[i, j], y_nnz[j, k]))
+                    t = dev.pair_seconds(
+                        decision.primitive, m, info.n, d, nnz_sparse, cfg
+                    )
+                    if prev_device is not None and prev_device != dev.name:
+                        # the accumulator crosses PCIe to the new device
+                        hop = m * d * 4 * dev.transfer_s_per_byte
+                        transfer_s += hop
+                        kernel_s += hop
+                    device_seconds[dev.name] += t
+                    device_pairs[dev.name] += 1
+                    kernel_s += t
+                    prev_device = dev.name
+            # tasks of one kernel run in parallel across the FPGA cores /
+            # GPU streams: approximate with an even split
+            total_s += kernel_s / max(cores, 1)
+
+        return HeteroResult(
+            total_seconds=total_s,
+            device_seconds=device_seconds,
+            device_pairs=device_pairs,
+            transfer_seconds=transfer_s,
+            primitive_counts=prims,
+        )
+
+    def run_fpga_only(self, program: CompiledProgram) -> HeteroResult:
+        """Same schedule priced with every pair on the FPGA (the §IX
+        baseline: what the homogeneous system does)."""
+        saved = self.gpu
+        try:
+            self.gpu = self.fpga
+            return self.run(program)
+        finally:
+            self.gpu = saved

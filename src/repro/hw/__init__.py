@@ -1,0 +1,37 @@
+"""Hardware model of the Dynasparse accelerator (paper §V, §VII).
+
+The simulator is *functional + cycle-level*: every primitive execution
+computes the true matrix product (so GNN inference results are exact) and
+simultaneously produces a cycle count derived from the microarchitecture:
+
+- :mod:`repro.hw.gemm_unit` — GEMM mode, output-stationary systolic array,
+  ``psys**2`` MACs/cycle;
+- :mod:`repro.hw.spdmm_unit` — SpDMM mode, scatter-gather paradigm
+  (Algorithm 5), ``psys**2 / 2`` MACs/cycle;
+- :mod:`repro.hw.spmm_unit` — SPMM mode, row-wise product (Algorithm 6),
+  ``psys`` MACs/cycle;
+- :mod:`repro.hw.core` — a Computation Core tying the three modes to the
+  Auxiliary Hardware Module (profiler, format/layout converters);
+- :mod:`repro.hw.accelerator` — the full device: cores + external memory +
+  soft processor;
+- :mod:`repro.hw.resources` — FPGA resource estimates (Fig. 9).
+
+Each of the three mode modules also ships a *faithful* element-level
+simulator used by the test suite to validate both the numerics and the
+closed-form cycle model against a direct execution of the paper's
+algorithm.
+"""
+
+from repro.hw.report import CycleReport, Primitive
+from repro.hw.core import ComputationCore
+from repro.hw.accelerator import Accelerator
+from repro.hw.resources import estimate_resources, ResourceReport
+
+__all__ = [
+    "CycleReport",
+    "Primitive",
+    "ComputationCore",
+    "Accelerator",
+    "estimate_resources",
+    "ResourceReport",
+]

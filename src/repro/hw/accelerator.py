@@ -1,0 +1,47 @@
+"""The full Dynasparse device: Computation Cores + DDR + soft processor.
+
+Mirrors Fig. 4's hardware system: ``num_cores`` Computation Cores (CC0-6
+on the U250), a shared external memory, and the soft processor running the
+runtime system.  The :class:`Accelerator` owns the hardware state; the
+scheduling logic lives in :mod:`repro.runtime.scheduler`, which drives the
+cores through this object exactly as the soft processor drives the real
+ones through AXI-Stream control words.
+"""
+
+from __future__ import annotations
+
+from repro.config import AcceleratorConfig, u250_default
+from repro.hw.core import ComputationCore
+from repro.hw.memory import ExternalMemory
+from repro.hw.soft_processor import SoftProcessor
+
+
+class Accelerator:
+    """Hardware-state container for one simulated device."""
+
+    def __init__(self, config: AcceleratorConfig | None = None) -> None:
+        self.config = config or u250_default()
+        self.memory = ExternalMemory(self.config)
+        self.cores = [
+            ComputationCore(self.config, self.memory, core_id=i)
+            for i in range(self.config.num_cores)
+        ]
+        self.soft_processor = SoftProcessor(self.config)
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+    def reset(self) -> None:
+        """Clear all statistics and buffer state between runs."""
+        self.memory.reset()
+        self.soft_processor.reset()
+        for core in self.cores:
+            core.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        c = self.config
+        return (
+            f"Accelerator(cores={c.num_cores}, psys={c.psys}, "
+            f"freq={c.freq_hz / 1e6:.0f}MHz, peak={c.peak_tflops:.3f}TFLOPS)"
+        )

@@ -1,0 +1,304 @@
+"""The Computation Core: Agile Computation Module + Auxiliary Hardware Module.
+
+A core executes one *task* (Algorithm 4) at a time: ``K`` partition-pair
+multiplications accumulated into one output partition ``Z_ij`` held in the
+Result Buffer, followed by write-back to DDR.  For every pair the runtime
+has already chosen a primitive (Algorithm 7); the core
+
+1. loads the operands (charging DDR cycles in their off-chip format),
+2. runs the Auxiliary Hardware Module as needed — D2S/S2D when the stored
+   format differs from what the mode requires (Table III), the Layout
+   Transformation Unit when the mode needs a column-major operand,
+3. executes the mode (GEMM / SpDMM / SPMM) on the ALU array,
+4. accumulates into the Result Buffer (partials from "transposed" pairs
+   land column-major and are merged by the Layout Merger on write-back),
+5. streams ``Z`` back to DDR through the Sparsity Profiler.
+
+With double buffering (§V-B3) the memory/transform streams overlap
+compute, so a task's latency is ``max(compute, memory + transform)``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.config import AcceleratorConfig
+from repro.formats.convert import DenseToSparseModule, SparseToDenseModule
+from repro.formats.csr import MatrixLike, as_csr, as_dense
+from repro.formats.dense import DTYPE
+from repro.formats.density import SparsityProfiler
+from repro.formats.layout import LayoutMerger, LayoutTransformationUnit
+from repro.hw.buffers import BufferOverflowError, CoreBuffers
+from repro.hw.gemm_unit import gemm_compute_cycles
+from repro.hw.memory import ExternalMemory
+from repro.hw.report import CycleReport, PairExecution, Primitive
+from repro.hw.spdmm_unit import spdmm_compute_cycles
+from repro.hw.spmm_unit import spmm_compute_cycles
+
+
+@dataclass
+class OperandSpec:
+    """One partition as the runtime hands it to a core.
+
+    ``data`` is the functional content (CSR or ndarray); the remaining
+    fields describe the off-chip storage so the core can charge the right
+    DDR traffic and format conversions.
+    """
+
+    data: MatrixLike
+    nbytes: int
+    nnz: int
+    density: float
+    stored_sparse: bool
+    shape: tuple[int, int]
+
+    @property
+    def num_elements(self) -> int:
+        return self.shape[0] * self.shape[1]
+
+
+@dataclass
+class PairDecision:
+    """The Analyzer's verdict for one (Xit, Ytj) pair (Algorithm 7)."""
+
+    primitive: Primitive
+    #: when True the sparser *right* operand is placed in BufferU and the
+    #: product is executed in the transposed orientation (SpDMM only)
+    transposed: bool = False
+
+
+@dataclass
+class TaskResult:
+    """Output of one task execution on a core."""
+
+    z: np.ndarray
+    report: CycleReport
+    latency: float
+    primitive_counts: Counter
+    output_nnz: int
+
+
+class ComputationCore:
+    """Functional + cycle-level model of one Computation Core."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        memory: ExternalMemory,
+        core_id: int = 0,
+    ) -> None:
+        self.config = config
+        self.memory = memory
+        self.core_id = core_id
+        width = config.psys
+        self.buffers = CoreBuffers.build(
+            config.buffers.words_per_buffer,
+            config.buffers.num_banks,
+            config.buffers.double_buffering,
+        )
+        self.ltu = LayoutTransformationUnit(width)
+        self.merger = LayoutMerger(width)
+        self.d2s = DenseToSparseModule(width)
+        self.s2d = SparseToDenseModule(width)
+        self.profiler = SparsityProfiler(width)
+        self._last_primitive: Optional[Primitive] = None
+        #: how many cores are concurrently streaming from DDR (set by the
+        #: scheduler per kernel; bounds this core's bandwidth share)
+        self.active_cores: Optional[int] = None
+
+    # -- capacity ----------------------------------------------------------
+    def check_capacity(self, op: OperandSpec, *, as_coo: bool) -> None:
+        """Verify the operand fits the buffer in its *on-chip* format:
+        COO (3 words/nonzero) in BufferU, dense elsewhere."""
+        words = 3 * op.nnz if as_coo else op.num_elements
+        if words > self.buffers.buffer_u.words:
+            raise BufferOverflowError(
+                f"core {self.core_id}: operand needs {words} words, "
+                f"buffers hold {self.buffers.buffer_u.words}"
+            )
+
+    def coo_fits(self, nnz: int) -> bool:
+        """Whether a COO operand with ``nnz`` nonzeros fits BufferU."""
+        return 3 * nnz <= self.buffers.buffer_u.words
+
+    # -- pair execution -------------------------------------------------------
+    def execute_pair(
+        self, x: OperandSpec, y: OperandSpec, decision: PairDecision
+    ) -> tuple[Optional[np.ndarray], PairExecution]:
+        """Multiply one partition pair according to the Analyzer's decision.
+
+        Returns ``(partial Z or None when skipped, PairExecution)``.
+        """
+        prim = decision.primitive
+        report = CycleReport()
+        if prim is Primitive.SKIP:
+            # Algorithm 7 line 6-7: empty operand, no load, no compute.
+            return None, PairExecution(prim, report)
+
+        # Capacity: dense partitions fit by construction (g(So)).  The
+        # SpDMM sparse operand *streams* through BufferU in batches
+        # (Algorithm 5 consumes nonzeros in order), so only SPMM's right
+        # operand — randomly accessed as Y[i] during the row-wise product
+        # — must be fully resident in COO form.
+        if prim is Primitive.GEMM:
+            self.check_capacity(x, as_coo=False)
+            self.check_capacity(y, as_coo=False)
+        elif prim is Primitive.SPDMM:
+            dense_side = x if decision.transposed else y
+            self.check_capacity(dense_side, as_coo=False)
+        else:
+            self.check_capacity(y, as_coo=True)
+
+        # -- operand loads (off-chip format bytes) --
+        report.memory += self.memory.read_cycles(
+            x.nbytes + y.nbytes, active_cores=self.active_cores
+        )
+        report.bytes_read += x.nbytes + y.nbytes
+
+        # The three modes compute the *same* product Z = X @ Y — they
+        # differ only in which zeros they skip, i.e. in cycles and MACs
+        # (paper §III-A).  The simulator therefore always computes the
+        # functional result through the cheapest sparse-aware host path
+        # and charges cycles from the mode's exact count; the mode-level
+        # unit modules (run_gemm/run_spdmm/run_spmm) remain the reference
+        # implementations the tests validate this equivalence against.
+        m, n = x.shape
+        d = y.shape[1]
+        if prim is Primitive.GEMM:
+            # Table III: X dense row-major (BufferO), Y dense col-major
+            # (BufferP).  DDR data is row-major, so Y takes an LTU pass;
+            # operands stored sparse off-chip take an S2D pass.
+            if x.stored_sparse:
+                report.transform += self.s2d.cycles_for(x.num_elements)
+            if y.stored_sparse:
+                report.transform += self.s2d.cycles_for(y.num_elements)
+            report.transform += self.ltu.cycles_for(y.num_elements)
+            comp = CycleReport(
+                compute=gemm_compute_cycles(m, n, d, self.config),
+                macs=m * n * d,
+            )
+        elif prim is Primitive.SPDMM:
+            sparse_op, dense_op = (y, x) if decision.transposed else (x, y)
+            # stored-format conversions for what the mode requires
+            if not sparse_op.stored_sparse:
+                report.transform += self.d2s.cycles_for(sparse_op.num_elements)
+            if dense_op.stored_sparse:
+                report.transform += self.s2d.cycles_for(dense_op.num_elements)
+            # columns of the dense operand as the mode consumes it: the
+            # transposed orientation runs nnz(Y) nonzeros against m rows
+            dense_cols = m if decision.transposed else d
+            if decision.transposed:
+                report.transform += self.ltu.cycles_for(dense_op.num_elements)
+            comp = CycleReport(
+                compute=spdmm_compute_cycles(
+                    sparse_op.nnz, dense_cols, self.config
+                ),
+                macs=sparse_op.nnz * dense_cols,
+            )
+        elif prim is Primitive.SPMM:
+            if not x.stored_sparse:
+                report.transform += self.d2s.cycles_for(x.num_elements)
+            if not y.stored_sparse:
+                report.transform += self.d2s.cycles_for(y.num_elements)
+            cycles, macs = spmm_compute_cycles(x.data, y.data, self.config)
+            comp = CycleReport(compute=cycles, macs=macs)
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unknown primitive {prim}")
+
+        z = _matmul(x.data, y.data)
+        report.merge(comp)
+        if self._last_primitive is not None and self._last_primitive is not prim:
+            report.mode_switches += 1
+        self._last_primitive = prim
+        return z, PairExecution(prim, report, decision.transposed)
+
+    # -- task execution -----------------------------------------------------------
+    def execute_task(
+        self,
+        pairs: Sequence[tuple[OperandSpec, OperandSpec, PairDecision]],
+        out_shape: tuple[int, int],
+        *,
+        write_sparse: bool = False,
+        accumulate_init: Optional[np.ndarray] = None,
+        activation: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> TaskResult:
+        """Run Algorithm 4: accumulate ``K`` pair products into ``Z_ij``."""
+        z = (
+            np.array(accumulate_init, dtype=DTYPE, copy=True)
+            if accumulate_init is not None
+            else np.zeros(out_shape, dtype=DTYPE)
+        )
+        if z.shape != tuple(out_shape):
+            raise ValueError(
+                f"accumulate_init shape {z.shape} != output shape {out_shape}"
+            )
+        report = CycleReport()
+        counts: Counter = Counter()
+        row_part = z  # row-major accumulator
+        col_part: Optional[np.ndarray] = None  # column-major partials
+        for x, y, decision in pairs:
+            partial, execution = self.execute_pair(x, y, decision)
+            counts[execution.primitive] += 1
+            report.merge(execution.report)
+            if partial is None:
+                continue
+            if execution.transposed:
+                if col_part is None:
+                    col_part = np.zeros(out_shape, dtype=DTYPE)
+                col_part += partial
+            else:
+                row_part += partial
+        if col_part is not None:
+            merged, tr = self.merger.merge(row_part, col_part)
+            z = merged
+            report.transform += tr.cycles
+        else:
+            z = row_part
+        if activation is not None:
+            z = np.asarray(activation(z), dtype=DTYPE)
+
+        # write-back through the Sparsity Profiler (overlapped stream);
+        # very sparse results convert D2S on the fly and store as COO
+        out_nnz = int(np.count_nonzero(z))
+        report.profile += self.profiler.cycles_for(z.size)
+        if write_sparse:
+            out_bytes = 12 * out_nnz
+            report.transform += self.d2s.cycles_for(z.size)
+        else:
+            out_bytes = 4 * z.size
+        report.memory += self.memory.write_cycles(
+            out_bytes, active_cores=self.active_cores
+        )
+        report.bytes_written += out_bytes
+
+        latency = report.latency(
+            double_buffering=self.config.buffers.double_buffering,
+            mode_switch_cycles=self.config.mode_switch_cycles,
+        )
+        return TaskResult(
+            z=z,
+            report=report,
+            latency=latency,
+            primitive_counts=counts,
+            output_nnz=out_nnz,
+        )
+
+    def reset(self) -> None:
+        self._last_primitive = None
+        self.buffers.clear()
+
+
+def _matmul(x: MatrixLike, y: MatrixLike) -> np.ndarray:
+    """Ground-truth dense product regardless of operand types."""
+    if sp.issparse(x):
+        return np.asarray(
+            (x @ y).todense() if sp.issparse(y) else x @ as_dense(y), dtype=DTYPE
+        )
+    if sp.issparse(y):
+        return np.asarray((y.T @ as_dense(x).T).T, dtype=DTYPE)
+    return np.asarray(as_dense(x) @ as_dense(y), dtype=DTYPE)

@@ -1,0 +1,72 @@
+"""External (DDR) memory model with byte-accurate traffic accounting.
+
+The U250 design uses four DDR4 channels with ~77 GB/s aggregate sustained
+bandwidth (Table V).  At the 250 MHz accelerator clock that is 308 bytes
+per cycle, *shared by all Computation Cores*; the per-core share used for
+task-latency estimation divides by the number of active cores (a standard
+contention approximation — each core sees 1/num_cores of the bandwidth
+when all cores stream simultaneously).
+
+Every task charges: reads of its operand partitions (in their chosen
+off-chip format — dense 4 B/element, COO 12 B/nonzero) and the write-back
+of its output partition.  The ledger also feeds the end-to-end PCIe
+movement estimate of §VIII-D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import AcceleratorConfig
+
+
+@dataclass
+class TrafficLedger:
+    """Cumulative byte counts, kept per run and per kernel."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def merge(self, other: "TrafficLedger") -> None:
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+
+    @property
+    def total(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+
+class ExternalMemory:
+    """DDR model: converts byte counts to cycles and keeps a ledger."""
+
+    def __init__(self, config: AcceleratorConfig) -> None:
+        self.config = config
+        self.ledger = TrafficLedger()
+        self._bytes_per_cycle = config.memory.bytes_per_cycle(config.freq_hz)
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Aggregate DDR bytes per accelerator cycle (all channels)."""
+        return self._bytes_per_cycle
+
+    def per_core_bytes_per_cycle(self, active_cores: int | None = None) -> float:
+        """Bandwidth share of one core when ``active_cores`` stream at once."""
+        n = active_cores if active_cores else self.config.num_cores
+        return self._bytes_per_cycle / max(n, 1)
+
+    def read_cycles(self, nbytes: int, *, active_cores: int | None = None) -> float:
+        """Cycles to read ``nbytes``; records the traffic."""
+        self.ledger.bytes_read += nbytes
+        return nbytes / self.per_core_bytes_per_cycle(active_cores)
+
+    def write_cycles(self, nbytes: int, *, active_cores: int | None = None) -> float:
+        self.ledger.bytes_written += nbytes
+        return nbytes / self.per_core_bytes_per_cycle(active_cores)
+
+    def reset(self) -> None:
+        self.ledger = TrafficLedger()
+
+
+def pcie_transfer_seconds(nbytes: int, config: AcceleratorConfig) -> float:
+    """Host <-> FPGA movement time over PCIe (§VIII-D: ~11.2 GB/s sustained)."""
+    return nbytes / (config.memory.pcie_gbps * 1e9)

@@ -1,0 +1,92 @@
+"""Cycle accounting shared by all hardware units.
+
+:class:`CycleReport` splits a task's cycles into the buckets the paper
+reasons about:
+
+- ``compute`` — ALU-array cycles of the chosen execution mode;
+- ``memory`` — DDR transfer cycles for operand loads and result store;
+- ``transform`` — AHM cycles (layout transformation, D2S/S2D, merging);
+- ``profile`` — Sparsity Profiler cycles.
+
+With double buffering (§V-B3) the memory, transform and profile streams
+overlap the compute of the *previous/next* task, so the effective latency
+of a task is ``max(compute, memory + transform)`` (profiling rides on the
+write-back stream and never adds latency).  Without double buffering
+everything serialises.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Primitive(enum.Enum):
+    """The three computation primitives (paper §III-A)."""
+
+    GEMM = "GEMM"
+    SPDMM = "SpDMM"
+    SPMM = "SPMM"
+    #: pseudo-primitive: the multiplication was skipped because one operand
+    #: was entirely zero (Algorithm 7, line 6-7)
+    SKIP = "SKIP"
+
+
+@dataclass
+class CycleReport:
+    """Cycle and work accounting of one (or an aggregation of) executions."""
+
+    compute: float = 0.0
+    memory: float = 0.0
+    transform: float = 0.0
+    profile: float = 0.0
+    #: exact multiply-accumulate operations performed
+    macs: int = 0
+    #: bytes moved from/to external memory
+    bytes_read: int = 0
+    bytes_written: int = 0
+    #: execution-mode switches performed
+    mode_switches: int = 0
+
+    def latency(self, *, double_buffering: bool = True, mode_switch_cycles: int = 1) -> float:
+        """Effective cycles on the core's critical path."""
+        switch = self.mode_switches * mode_switch_cycles
+        if double_buffering:
+            return max(self.compute, self.memory + self.transform) + switch
+        return self.compute + self.memory + self.transform + self.profile + switch
+
+    def merge(self, other: "CycleReport") -> "CycleReport":
+        """Accumulate another report into this one (in place) and return self."""
+        self.compute += other.compute
+        self.memory += other.memory
+        self.transform += other.transform
+        self.profile += other.profile
+        self.macs += other.macs
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.mode_switches += other.mode_switches
+        return self
+
+    def copy(self) -> "CycleReport":
+        return CycleReport(
+            self.compute,
+            self.memory,
+            self.transform,
+            self.profile,
+            self.macs,
+            self.bytes_read,
+            self.bytes_written,
+            self.mode_switches,
+        )
+
+
+@dataclass
+class PairExecution:
+    """Result of multiplying one (Xit, Ytj) partition pair."""
+
+    primitive: Primitive
+    report: CycleReport
+    #: True when the product was computed in the transposed orientation
+    #: (sparser operand on the right was moved into BufferU), landing the
+    #: partial result column-major in the Result Buffer.
+    transposed: bool = False

@@ -1,0 +1,118 @@
+"""FPGA resource estimation (paper Fig. 9).
+
+The paper reports, for ``psys = 16`` Computation Cores on the Alveo U250:
+
+====================  ======  =====  ======  ======
+component             LUTs    DSPs   BRAMs   URAMs
+====================  ======  =====  ======  ======
+Soft processor        5.5K    6      26      0
+One CC                118K    1024   96      120
+FPGA shell            181K    13     447     0
+Total (7 CCs)         1011K   7187   1145    840
+Available (U250)      1728K   12288  2688    960
+====================  ======  =====  ======  ======
+
+The estimator scales the per-CC numbers with the architecture: the DSP
+count is exactly ``4 * psys**2`` (four DSP48 slices per float32 MAC ALU);
+LUTs scale with the ALU array plus the two butterfly networks
+(``O(psys * log2 psys)``); BRAMs with the bank count; URAMs with buffer
+capacity.  Constants are calibrated so ``psys = 16`` reproduces Fig. 9
+exactly, which lets the A5 ablation (psys sweep) report honest resource
+trade-offs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import AcceleratorConfig
+
+#: Alveo U250 available resources (Fig. 9 bottom row)
+U250_AVAILABLE = {"LUT": 1_728_000, "DSP": 12_288, "BRAM": 2_688, "URAM": 960}
+
+SOFT_PROCESSOR = {"LUT": 5_500, "DSP": 6, "BRAM": 26, "URAM": 0}
+FPGA_SHELL = {"LUT": 181_000, "DSP": 13, "BRAM": 447, "URAM": 0}
+
+# per-CC calibration anchors at psys = 16 (Fig. 9 "One CC" row)
+_REF_PSYS = 16
+_REF_CC = {"LUT": 118_000, "DSP": 1_024, "BRAM": 96, "URAM": 120}
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Resource usage for one configuration, in Fig. 9's units."""
+
+    per_cc: dict
+    soft_processor: dict
+    shell: dict
+    total: dict
+    available: dict
+
+    @property
+    def utilization(self) -> dict:
+        return {
+            k: self.total[k] / self.available[k] if self.available[k] else 0.0
+            for k in self.total
+        }
+
+    @property
+    def fits(self) -> bool:
+        return all(self.total[k] <= self.available[k] for k in self.total)
+
+    def format_table(self) -> str:
+        """Render the Fig. 9 utilization table."""
+        keys = ["LUT", "DSP", "BRAM", "URAM"]
+        rows = [
+            ("Soft Processor", self.soft_processor),
+            ("One CC", self.per_cc),
+            ("FPGA Shell", self.shell),
+            ("Total", self.total),
+            ("Available", self.available),
+        ]
+        lines = ["{:<16}".format("") + "".join(f"{k:>10}" for k in keys)]
+        for name, vals in rows:
+            lines.append(
+                f"{name:<16}" + "".join(f"{vals[k]:>10,}" for k in keys)
+            )
+        util = self.utilization
+        lines.append(
+            "{:<16}".format("Utilization")
+            + "".join(f"{util[k] * 100:>9.1f}%" for k in keys)
+        )
+        return "\n".join(lines)
+
+
+def estimate_cc_resources(config: AcceleratorConfig) -> dict:
+    """Per-Computation-Core resources as a function of ``psys``."""
+    p = config.psys
+    ratio2 = (p / _REF_PSYS) ** 2  # ALU array area
+    ratio_net = (p * math.log2(p)) / (_REF_PSYS * math.log2(_REF_PSYS))
+    # LUT split: ~70% ALU array + control (quadratic), ~30% shuffle
+    # networks and AHM (p log p)
+    lut = int(_REF_CC["LUT"] * (0.7 * ratio2 + 0.3 * ratio_net))
+    dsp = 4 * p * p
+    bram = int(_REF_CC["BRAM"] * p / _REF_PSYS)
+    uram = int(
+        round(
+            _REF_CC["URAM"]
+            * (config.buffers.words_per_buffer / (512 * 1024))
+        )
+    )
+    return {"LUT": lut, "DSP": dsp, "BRAM": bram, "URAM": uram}
+
+
+def estimate_resources(config: AcceleratorConfig) -> ResourceReport:
+    """Full-device estimate, Fig. 9 style."""
+    per_cc = estimate_cc_resources(config)
+    total = {
+        k: per_cc[k] * config.num_cores + SOFT_PROCESSOR[k] + FPGA_SHELL[k]
+        for k in per_cc
+    }
+    return ResourceReport(
+        per_cc=per_cc,
+        soft_processor=dict(SOFT_PROCESSOR),
+        shell=dict(FPGA_SHELL),
+        total=total,
+        available=dict(U250_AVAILABLE),
+    )

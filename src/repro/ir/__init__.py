@@ -1,0 +1,25 @@
+"""Intermediate representation of GNN inference (paper §IV-A).
+
+The compiler lowers a GNN model + graph metadata into a
+:class:`~repro.ir.graph.ComputationGraph` whose nodes are
+:class:`~repro.ir.kernel.KernelIR` objects (Table II) — one per Aggregate
+or Update kernel — and whose edges are data dependencies.  After data
+partitioning, each kernel carries an
+:class:`~repro.ir.scheme.ExecutionScheme` describing its decomposition
+into independent :class:`~repro.ir.scheme.Task` objects (Algorithms 2-4).
+"""
+
+from repro.ir.kernel import KernelIR, KernelType, AggOp, Activation
+from repro.ir.graph import ComputationGraph
+from repro.ir.scheme import ExecutionScheme, Task, generate_tasks
+
+__all__ = [
+    "KernelIR",
+    "KernelType",
+    "AggOp",
+    "Activation",
+    "ComputationGraph",
+    "ExecutionScheme",
+    "Task",
+    "generate_tasks",
+]

@@ -1,0 +1,102 @@
+"""The computation graph of GNN inference (paper §IV-B, Fig. 3).
+
+Nodes are kernels (:class:`~repro.ir.kernel.KernelIR`), edges are data
+dependencies: an edge ``u -> v`` means kernel ``v`` consumes the matrix
+kernel ``u`` produces.  The graph has ``sum_l k_l`` nodes for an
+``L``-layer model with ``k_l`` kernels in layer ``l``.
+
+The runtime executes kernels in a topological order; because Dynasparse's
+per-kernel barrier (Algorithm 8, line 6) already serialises kernels, a
+deterministic topo order (insertion order among ready nodes) is used.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator
+
+from repro.ir.kernel import KernelIR
+
+
+class CycleError(ValueError):
+    """The kernel dependency graph contains a cycle."""
+
+
+class ComputationGraph:
+    """DAG of GNN kernels with dependency tracking."""
+
+    def __init__(self) -> None:
+        self._kernels: dict[str, KernelIR] = {}
+        self._succs: dict[str, list[str]] = {}
+        self._preds: dict[str, list[str]] = {}
+
+    # -- construction -----------------------------------------------------
+    def add_kernel(self, kernel: KernelIR) -> None:
+        if kernel.kernel_id in self._kernels:
+            raise ValueError(f"duplicate kernel id {kernel.kernel_id!r}")
+        self._kernels[kernel.kernel_id] = kernel
+        self._succs[kernel.kernel_id] = []
+        self._preds[kernel.kernel_id] = []
+
+    def add_dependency(self, producer_id: str, consumer_id: str) -> None:
+        """Edge: ``consumer`` reads a matrix written by ``producer``."""
+        for kid in (producer_id, consumer_id):
+            if kid not in self._kernels:
+                raise KeyError(f"unknown kernel {kid!r}")
+        if consumer_id not in self._succs[producer_id]:
+            self._succs[producer_id].append(consumer_id)
+            self._preds[consumer_id].append(producer_id)
+
+    def infer_dependencies(self) -> None:
+        """Wire edges from matching producer ``out_name`` to consumer
+        ``x_name``/``y_name``/``accumulate_into`` references."""
+        producers = {k.out_name: k.kernel_id for k in self._kernels.values()}
+        for k in self._kernels.values():
+            for ref in (k.x_name, k.y_name, k.accumulate_into):
+                if ref and ref in producers and producers[ref] != k.kernel_id:
+                    self.add_dependency(producers[ref], k.kernel_id)
+
+    # -- queries -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+    def __contains__(self, kernel_id: str) -> bool:
+        return kernel_id in self._kernels
+
+    def kernel(self, kernel_id: str) -> KernelIR:
+        return self._kernels[kernel_id]
+
+    def kernels(self) -> Iterator[KernelIR]:
+        return iter(self._kernels.values())
+
+    def predecessors(self, kernel_id: str) -> list[str]:
+        return list(self._preds[kernel_id])
+
+    def successors(self, kernel_id: str) -> list[str]:
+        return list(self._succs[kernel_id])
+
+    def topo_order(self) -> list[KernelIR]:
+        """Deterministic topological order (Kahn, insertion-order ties)."""
+        indeg = {kid: len(p) for kid, p in self._preds.items()}
+        ready = deque(kid for kid in self._kernels if indeg[kid] == 0)
+        order: list[KernelIR] = []
+        while ready:
+            kid = ready.popleft()
+            order.append(self._kernels[kid])
+            for nxt in self._succs[kid]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    ready.append(nxt)
+        if len(order) != len(self._kernels):
+            raise CycleError("computation graph contains a cycle")
+        return order
+
+    def layers(self) -> dict[int, list[KernelIR]]:
+        """Kernels grouped by GNN layer id."""
+        out: dict[int, list[KernelIR]] = {}
+        for k in self._kernels.values():
+            out.setdefault(k.layer_id, []).append(k)
+        return out
+
+    def describe(self) -> str:
+        return "\n".join(k.describe() for k in self.topo_order())

@@ -1,0 +1,52 @@
+"""The Dynasparse runtime system (paper §VI).
+
+Runs (conceptually) on the soft processor: the **Analyzer** maps each
+kernel's partition-pair multiplications to primitives using the analytical
+performance model (Table IV / Algorithm 7), and the **Scheduler**
+dynamically dispatches the resulting tasks onto idle Computation Cores
+(Algorithm 8).  :class:`~repro.runtime.executor.RuntimeSystem` drives a
+simulated :class:`~repro.hw.accelerator.Accelerator` through a compiled
+program and returns both the exact inference output and the full cycle
+accounting.
+
+The static baselines of §VIII-B (S1 = HyGCN/BoostGCN mapping, S2 =
+AWB-GCN mapping) are provided as alternative
+:class:`~repro.runtime.strategies.MappingStrategy` implementations so the
+Table VII / Fig. 11-12 comparisons run on identical hardware.
+"""
+
+from repro.runtime.perf_model import PerformanceModel, model_cycles, region_primitive
+from repro.runtime.analyzer import Analyzer
+from repro.runtime.strategies import (
+    DynamicMapping,
+    FixedMapping,
+    MappingStrategy,
+    OracleMapping,
+    Static1,
+    Static2,
+    STRATEGIES,
+    make_strategy,
+)
+from repro.runtime.scheduler import CoreTimeline
+from repro.runtime.executor import InferenceResult, RuntimeSystem, end_to_end_seconds
+from repro.runtime.stats import KernelStats
+
+__all__ = [
+    "PerformanceModel",
+    "model_cycles",
+    "region_primitive",
+    "Analyzer",
+    "MappingStrategy",
+    "DynamicMapping",
+    "Static1",
+    "Static2",
+    "OracleMapping",
+    "FixedMapping",
+    "STRATEGIES",
+    "make_strategy",
+    "CoreTimeline",
+    "RuntimeSystem",
+    "InferenceResult",
+    "end_to_end_seconds",
+    "KernelStats",
+]

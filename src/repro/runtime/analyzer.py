@@ -1,0 +1,59 @@
+"""The Analyzer: dynamic kernel-to-primitive mapping (paper Algorithm 7).
+
+For each partition pair ``(Xit, Ytj)`` the Analyzer fetches the operand
+densities (from the compiler's tables for static matrices, from the
+Sparsity Profiler for intermediate features) and decides:
+
+1. ``alpha_min = 0``                    -> **skip** the multiplication;
+2. ``alpha_min >= 1/2``                 -> **GEMM** (X -> BufferO, Y -> BufferP);
+3. ``alpha_max >= 2/psys``              -> **SpDMM**, the *sparser* operand
+   goes to BufferU (when that is the right operand the product executes in
+   the transposed orientation and the Layout Merger reconciles the partial
+   result — §V-B2);
+4. otherwise                            -> **SPMM** (X -> BufferU, Y -> BufferO).
+
+The decision is O(1) per pair and O(K) per task, negligible next to the
+task's O(N^3)-ish compute (§VI-B) — and the executor charges exactly that
+cost to the soft processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import AcceleratorConfig
+from repro.hw.core import PairDecision
+from repro.hw.report import Primitive
+
+
+@dataclass(frozen=True)
+class PairInfo:
+    """Densities and shapes the Analyzer sees for one partition pair."""
+
+    alpha_x: float
+    alpha_y: float
+    m: int
+    n: int
+    d: int
+
+
+class Analyzer:
+    """Algorithm 7, bound to one accelerator configuration."""
+
+    def __init__(self, config: AcceleratorConfig) -> None:
+        self.config = config
+        self._spdmm_threshold = 2.0 / config.psys
+
+    def decide(self, info: PairInfo) -> PairDecision:
+        ax, ay = info.alpha_x, info.alpha_y
+        a_min = ax if ax <= ay else ay
+        if a_min == 0.0:
+            return PairDecision(Primitive.SKIP)
+        if a_min >= 0.5:
+            return PairDecision(Primitive.GEMM)
+        a_max = ay if ax <= ay else ax
+        if a_max >= self._spdmm_threshold:
+            # argmin-density operand into BufferU; if that is Y, execute
+            # transposed (ties keep X in BufferU)
+            return PairDecision(Primitive.SPDMM, transposed=ay < ax)
+        return PairDecision(Primitive.SPMM)

@@ -1,0 +1,468 @@
+"""The runtime system: executes a compiled program on the accelerator.
+
+Implements the §III-B runtime step: for each kernel (in dependency
+order) the Analyzer maps every partition pair to a primitive (through the
+pluggable :class:`~repro.runtime.strategies.MappingStrategy`), the
+Scheduler assigns tasks to idle Computation Cores (Algorithm 8), the cores
+execute and profile, and the produced feature matrix is stored back with
+an on-the-fly format decision.  K2P analysis for kernel ``l+1`` overlaps
+the accelerator's execution of kernel ``l`` (§VI-B), so the reported
+latency adds only the *exposed* part of the runtime-system time; the raw
+overhead is reported separately (Fig. 13).
+
+The functional output is exact: integration tests compare it bit-for-bit
+(up to float32 accumulation tolerance) against
+:func:`repro.gnn.functional.reference_inference`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.compiler.compile import CompiledProgram, CompileTimings
+from repro.compiler.sparsity import choose_storage_format
+from repro.config import AcceleratorConfig
+from repro.formats.dense import DTYPE
+from repro.formats.partition import PartitionedMatrix
+from repro.gnn.activations import activation_fn
+from repro.hw.accelerator import Accelerator
+from repro.hw.core import OperandSpec, PairDecision
+from repro.hw.memory import pcie_transfer_seconds
+from repro.hw.report import CycleReport, Primitive
+from repro.ir.kernel import KernelIR
+from repro.runtime.analyzer import PairInfo
+from repro.runtime.scheduler import CoreTimeline
+from repro.runtime.stats import KernelStats, total_primitive_counts
+from repro.runtime.strategies import MappingStrategy
+
+#: outputs larger than this (elements) are assembled sparsely — e.g. the
+#: 65k x 61k hop outputs of SGC on NELL never materialise densely
+DENSE_ASSEMBLY_LIMIT = 50_000_000
+
+
+@dataclass
+class InferenceResult:
+    """Everything a run produces: exact output + full cycle accounting."""
+
+    output: object  # ndarray | csr_matrix
+    strategy_name: str
+    model_name: str
+    data_name: str
+    config: AcceleratorConfig
+    kernel_stats: list[KernelStats]
+    #: sum of kernel makespans on the accelerator (cycles)
+    accel_cycles: float
+    #: runtime-system time that could not be hidden (cycles)
+    exposed_overhead_cycles: float
+    #: total soft-processor time spent on K2P analysis (seconds)
+    runtime_overhead_seconds: float
+    compile_timings: CompileTimings
+    input_bytes: int
+    core_busy: np.ndarray
+    timeline_events: list = field(default_factory=list, repr=False)
+
+    # -- latency --------------------------------------------------------
+    @property
+    def total_cycles(self) -> float:
+        """Accelerator execution latency in cycles (§VIII-A metric)."""
+        return self.accel_cycles + self.exposed_overhead_cycles
+
+    @property
+    def latency_s(self) -> float:
+        return self.config.cycles_to_seconds(self.total_cycles)
+
+    @property
+    def latency_ms(self) -> float:
+        return self.config.cycles_to_ms(self.total_cycles)
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Runtime-system time / total execution time (Fig. 13)."""
+        total = self.latency_s
+        if total <= 0:
+            return 0.0
+        return self.runtime_overhead_seconds / total
+
+    # -- aggregates ------------------------------------------------------
+    @property
+    def primitive_totals(self) -> Counter:
+        return total_primitive_counts(self.kernel_stats)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(ks.macs for ks in self.kernel_stats)
+
+    @property
+    def bytes_read(self) -> int:
+        return sum(ks.bytes_read for ks in self.kernel_stats)
+
+    @property
+    def bytes_written(self) -> int:
+        return sum(ks.bytes_written for ks in self.kernel_stats)
+
+    @property
+    def num_tasks(self) -> int:
+        return sum(ks.num_tasks for ks in self.kernel_stats)
+
+    @property
+    def num_pairs(self) -> int:
+        return sum(ks.num_pairs for ks in self.kernel_stats)
+
+    def load_balance(self) -> float:
+        mx = float(self.core_busy.max()) if self.core_busy.size else 0.0
+        if mx == 0.0:
+            return 1.0
+        return float(self.core_busy.mean()) / mx
+
+    def output_dense(self) -> np.ndarray:
+        if sp.issparse(self.output):
+            return np.asarray(self.output.todense(), dtype=DTYPE)
+        return np.asarray(self.output, dtype=DTYPE)
+
+    def speedup_vs(self, other: "InferenceResult") -> float:
+        """How much faster *this* run is than ``other`` (>1 = faster)."""
+        return other.total_cycles / self.total_cycles
+
+    def format_report(self) -> str:
+        """Human-readable per-kernel execution report."""
+        lines = [
+            f"{self.model_name} on {self.data_name} — strategy "
+            f"{self.strategy_name}",
+            f"  latency {self.latency_ms:.4f} ms "
+            f"({self.total_cycles:.0f} cycles), "
+            f"runtime overhead {self.overhead_fraction * 100:.2f}%, "
+            f"load balance {self.load_balance():.3f}",
+            f"  {'kernel':<20}{'cycles':>12}{'tasks':>7}{'pairs':>7}"
+            f"{'skip':>6}{'out dens':>10}  primitives",
+        ]
+        for ks in self.kernel_stats:
+            prims = ", ".join(
+                f"{p.value}:{c}" for p, c in sorted(
+                    ks.primitive_counts.items(), key=lambda kv: kv[0].value
+                ) if p.value != "SKIP"
+            )
+            lines.append(
+                f"  {ks.kernel_id:<20}{ks.cycles:>12.0f}{ks.num_tasks:>7}"
+                f"{ks.num_pairs:>7}{ks.skipped_pairs:>6}"
+                f"{ks.out_density:>10.3f}  {prims}"
+            )
+        return "\n".join(lines)
+
+
+class RuntimeSystem:
+    """Drives one accelerator through one compiled program."""
+
+    def __init__(self, accelerator: Accelerator, strategy: MappingStrategy) -> None:
+        if accelerator.config.psys != strategy.config.psys:
+            raise ValueError("strategy and accelerator configs disagree")
+        self.accelerator = accelerator
+        self.strategy = strategy
+
+    # -- public API ------------------------------------------------------
+    def run(self, program: CompiledProgram) -> InferenceResult:
+        acc = self.accelerator
+        acc.reset()
+        soft = acc.soft_processor
+        timeline = CoreTimeline(acc.num_cores)
+
+        local_store: dict = {}
+        local_views: dict = {}
+        stored_sparse = dict(program.stored_sparse)
+
+        kernel_stats: list[KernelStats] = []
+        analysis_seconds: list[float] = []
+        kernel_cycles: list[float] = []
+
+        for kernel in program.graph.topo_order():
+            ks, analysis_s = self._run_kernel(
+                kernel, program, local_store, local_views, stored_sparse,
+                timeline,
+            )
+            kernel_stats.append(ks)
+            analysis_seconds.append(analysis_s)
+            kernel_cycles.append(ks.cycles)
+
+        # §VI-B overlap: the Analyzer pipelines ahead of the Scheduler —
+        # decisions for task t+1 run while the cores execute task t (and
+        # kernel l+1's analysis can start during kernel l).  Exposed time
+        # is therefore the lead-in (first task's decisions) plus any
+        # excess of a kernel's total analysis over its own makespan
+        # (when the soft processor cannot keep the cores fed).
+        exposed = 0.0
+        for i, ks in enumerate(kernel_stats):
+            a_cycles = soft.seconds_to_accel_cycles(analysis_seconds[i])
+            if a_cycles <= 0.0:
+                continue
+            lead_in = a_cycles / max(ks.num_tasks, 1)
+            exposed += lead_in + max(0.0, a_cycles - kernel_cycles[i])
+
+        output = local_store[program.output_name]
+        return InferenceResult(
+            output=output,
+            strategy_name=self.strategy.name,
+            model_name=program.model.name,
+            data_name=program.data_name,
+            config=acc.config,
+            kernel_stats=kernel_stats,
+            accel_cycles=float(sum(kernel_cycles)),
+            exposed_overhead_cycles=float(exposed),
+            runtime_overhead_seconds=float(sum(analysis_seconds)),
+            compile_timings=program.timings,
+            input_bytes=program.input_bytes(),
+            core_busy=timeline.busy.copy(),
+            timeline_events=timeline.events,
+        )
+
+    # -- internals ----------------------------------------------------------
+    def _view(
+        self,
+        name: str,
+        blocking: tuple[int, int],
+        program: CompiledProgram,
+        local_store: dict,
+        local_views: dict,
+    ) -> PartitionedMatrix:
+        if name in local_store:
+            key = (name, blocking[0], blocking[1])
+            pm = local_views.get(key)
+            if pm is None:
+                pm = PartitionedMatrix(
+                    local_store[name], blocking[0], blocking[1], name=name
+                )
+                local_views[key] = pm
+            return pm
+        return program.view(name, *blocking)
+
+    def _run_kernel(
+        self,
+        kernel: KernelIR,
+        program: CompiledProgram,
+        local_store: dict,
+        local_views: dict,
+        stored_sparse: dict,
+        timeline: CoreTimeline,
+    ) -> tuple[KernelStats, float]:
+        acc = self.accelerator
+        soft = acc.soft_processor
+        scheme = kernel.exec_scheme
+        if scheme is None:
+            raise RuntimeError(f"kernel {kernel.kernel_id} has no execution scheme")
+
+        xv = self._view(kernel.x_name, scheme.x_blocking, program, local_store, local_views)
+        yv = self._view(kernel.y_name, scheme.y_blocking, program, local_store, local_views)
+        if xv.num_col_blocks != yv.num_row_blocks:
+            raise RuntimeError(
+                f"inner blocking mismatch on {kernel.kernel_id}: "
+                f"{xv.num_col_blocks} vs {yv.num_row_blocks}"
+            )
+        x_stored_sparse = stored_sparse[kernel.x_name]
+        y_stored_sparse = stored_sparse[kernel.y_name]
+
+        x_dens = xv.density_grid
+        y_dens = yv.density_grid
+        x_nnzg = xv._nnz_grid
+        y_nnzg = yv._nnz_grid
+        x_rs = xv.row_block_sizes
+        x_cs = xv.col_block_sizes
+        y_cs = yv.col_block_sizes
+
+        rows, cols = xv.shape[0], yv.shape[1]
+        dense_assembly = rows * cols <= DENSE_ASSEMBLY_LIMIT
+        out_dense = np.zeros((rows, cols), dtype=DTYPE) if dense_assembly else None
+        sp_rows: list[np.ndarray] = []
+        sp_cols: list[np.ndarray] = []
+        sp_vals: list[np.ndarray] = []
+
+        act = (
+            activation_fn(kernel.activation) if kernel.activation_enabled else None
+        )
+        acc_view = (
+            self._view(kernel.accumulate_into, scheme.out_blocking, program,
+                       local_store, local_views)
+            if kernel.accumulate_into
+            else None
+        )
+        out_br, out_bc = scheme.out_blocking
+
+        report = CycleReport()
+        counts: Counter = Counter()
+        num_pairs = 0
+        total_out_nnz = 0
+        busy_before = timeline.busy.copy()
+
+        # only as many cores stream from DDR as there are concurrent tasks
+        concurrency = min(acc.num_cores, scheme.num_tasks)
+        for core in acc.cores:
+            core.active_cores = concurrency
+
+        for t_idx, task in enumerate(scheme.tasks()):
+            i, k = task.out_row, task.out_col
+            m = int(x_rs[i])
+            d = int(y_cs[k])
+            pairs_work = []
+            for j, _ in task.pairs:
+                info = PairInfo(
+                    alpha_x=float(x_dens[i, j]),
+                    alpha_y=float(y_dens[j, k]),
+                    m=m,
+                    n=int(x_cs[j]),
+                    d=d,
+                )
+                decision = self.strategy.decide(kernel, info)
+                num_pairs += 1
+                if decision.primitive is Primitive.SKIP:
+                    counts[Primitive.SKIP] += 1
+                    continue
+                x_nnz = int(x_nnzg[i, j])
+                y_nnz = int(y_nnzg[j, k])
+                # On-chip capacity fallback: SPMM randomly accesses its
+                # right operand during the row-wise product, so Y must be
+                # resident in COO form (3 words/nonzero).  When it does
+                # not fit BufferO, the runtime degrades the pair to SpDMM
+                # (whose sparse operand streams; the dense operand fits
+                # by g(So) construction).
+                if decision.primitive is Primitive.SPMM and not acc.cores[
+                    0
+                ].coo_fits(y_nnz):
+                    decision = PairDecision(Primitive.SPDMM)
+                x_elems = m * info.n
+                y_elems = info.n * d
+                x_spec = OperandSpec(
+                    data=xv.block(i, j),
+                    nbytes=12 * x_nnz if x_stored_sparse else 4 * x_elems,
+                    nnz=x_nnz,
+                    density=info.alpha_x,
+                    stored_sparse=x_stored_sparse,
+                    shape=(m, info.n),
+                )
+                y_spec = OperandSpec(
+                    data=yv.block(j, k),
+                    nbytes=12 * y_nnz if y_stored_sparse else 4 * y_elems,
+                    nnz=y_nnz,
+                    density=info.alpha_y,
+                    stored_sparse=y_stored_sparse,
+                    shape=(info.n, d),
+                )
+                pairs_work.append((x_spec, y_spec, decision))
+
+            acc_init = acc_view.dense_block(i, k) if acc_view is not None else None
+            if not pairs_work and acc_init is None:
+                # entire output partition is zero: the runtime skips the
+                # task outright (no dispatch, no write-back)
+                continue
+
+            core_id = timeline.peek_next_core()
+            core = acc.cores[core_id]
+            result = core.execute_task(
+                pairs_work,
+                (m, d),
+                write_sparse=not dense_assembly,
+                accumulate_init=acc_init,
+                activation=act,
+            )
+            dispatch_s = soft.dispatch_seconds(1) + soft.sparsity_receive_seconds(1)
+            duration = result.latency + soft.seconds_to_accel_cycles(dispatch_s)
+            timeline.assign_to(
+                core_id, duration, kernel_id=kernel.kernel_id, task_index=t_idx
+            )
+
+            report.merge(result.report)
+            counts.update(result.primitive_counts)
+            total_out_nnz += result.output_nnz
+
+            r0, c0 = i * out_br, k * out_bc
+            if dense_assembly:
+                out_dense[r0 : r0 + m, c0 : c0 + d] = result.z
+            else:
+                rr, cc = np.nonzero(result.z)
+                if rr.size:
+                    sp_rows.append(rr.astype(np.int64) + r0)
+                    sp_cols.append(cc.astype(np.int64) + c0)
+                    sp_vals.append(result.z[rr, cc])
+
+        cycles = timeline.barrier()
+
+        # assemble + store the produced feature matrix
+        if dense_assembly:
+            out_mat: object = out_dense
+        else:
+            if sp_rows:
+                out_mat = sp.csr_matrix(
+                    (
+                        np.concatenate(sp_vals),
+                        (np.concatenate(sp_rows), np.concatenate(sp_cols)),
+                    ),
+                    shape=(rows, cols),
+                    dtype=DTYPE,
+                )
+            else:
+                out_mat = sp.csr_matrix((rows, cols), dtype=DTYPE)
+        out_density = total_out_nnz / (rows * cols) if rows * cols else 0.0
+        local_store[kernel.out_name] = out_mat
+        stored_sparse[kernel.out_name] = (
+            choose_storage_format(out_density) if dense_assembly else True
+        )
+        # drop any stale views of this name (re-runs within one program)
+        for key in [kk for kk in local_views if kk[0] == kernel.out_name]:
+            del local_views[key]
+
+        analysis_s = (
+            soft.k2p_decision_seconds(num_pairs)
+            if self.strategy.charges_analysis
+            else 0.0
+        )
+
+        ks = KernelStats(
+            kernel_id=kernel.kernel_id,
+            ktype=kernel.ktype,
+            num_tasks=scheme.num_tasks,
+            num_pairs=num_pairs,
+            cycles=cycles,
+            primitive_counts=counts,
+            macs=report.macs,
+            bytes_read=report.bytes_read,
+            bytes_written=report.bytes_written,
+            compute_cycles=report.compute,
+            memory_cycles=report.memory,
+            transform_cycles=report.transform,
+            profile_cycles=report.profile,
+            out_density=out_density,
+            analysis_seconds=analysis_s,
+            core_busy=timeline.busy - busy_before,
+        )
+        return ks, analysis_s
+
+
+def end_to_end_seconds(
+    program: CompiledProgram,
+    result: InferenceResult,
+    *,
+    include_preprocessing: bool = True,
+    include_pcie: bool = True,
+) -> float:
+    """§VIII-D end-to-end latency: preprocessing + CPU->FPGA movement +
+    accelerator execution."""
+    total = result.latency_s
+    if include_preprocessing:
+        total += program.timings.total_s
+    if include_pcie:
+        total += pcie_transfer_seconds(program.input_bytes(), result.config)
+    return total
+
+
+def run_strategy(
+    program: CompiledProgram,
+    strategy_name: str,
+    accelerator: Optional[Accelerator] = None,
+) -> InferenceResult:
+    """Convenience: run one program under one named strategy."""
+    from repro.runtime.strategies import make_strategy
+
+    acc = accelerator or Accelerator(program.config)
+    strategy = make_strategy(strategy_name, acc.config)
+    return RuntimeSystem(acc, strategy).run(program)

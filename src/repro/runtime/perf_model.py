@@ -1,0 +1,115 @@
+"""Analytical performance model (paper Table IV and §VI-A).
+
+For ``Z = X @ Y`` with ``X (m, n)`` of density ``alpha_X`` and ``Y (n, d)``
+of density ``alpha_Y`` on a core with array dimension ``psys``:
+
+==========  ===================  ==============================
+primitive   MACs / cycle         execution time (cycles)
+==========  ===================  ==============================
+GEMM        ``psys**2``          ``m n d / psys**2``
+SpDMM       ``psys**2 / 2``      ``alpha_min * 2 m n d / psys**2``
+SPMM        ``psys``             ``alpha_X alpha_Y m n d / psys``
+==========  ===================  ==============================
+
+§VI-A derives the optimal-mode regions (``alpha_min = min``, ``alpha_max
+= max`` of the two densities):
+
+- ``alpha_min >= 1/2``                          -> GEMM,
+- ``alpha_min < 1/2`` and ``alpha_max >= 2/psys`` -> SpDMM,
+- ``alpha_min < 1/2`` and ``alpha_max < 2/psys``  -> SPMM,
+
+three non-overlapping cases that tile the whole density domain — a
+property the test suite checks against the argmin of the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import AcceleratorConfig
+from repro.hw.report import Primitive
+
+
+def model_cycles(
+    primitive: Primitive,
+    m: int,
+    n: int,
+    d: int,
+    alpha_x: float,
+    alpha_y: float,
+    config: AcceleratorConfig,
+) -> float:
+    """Predicted execution cycles of one primitive (Table IV)."""
+    if not (0.0 <= alpha_x <= 1.0 and 0.0 <= alpha_y <= 1.0):
+        raise ValueError("densities must lie in [0, 1]")
+    p2 = config.psys * config.psys
+    volume = m * n * d
+    if primitive is Primitive.GEMM:
+        return volume / p2
+    if primitive is Primitive.SPDMM:
+        return min(alpha_x, alpha_y) * 2.0 * volume / p2
+    if primitive is Primitive.SPMM:
+        return alpha_x * alpha_y * volume / config.psys
+    if primitive is Primitive.SKIP:
+        return 0.0
+    raise ValueError(f"unknown primitive {primitive}")
+
+
+def region_primitive(
+    alpha_x: float, alpha_y: float, config: AcceleratorConfig
+) -> Primitive:
+    """The closed-form optimal mode of §VI-A (ignores the zero case)."""
+    a_min = min(alpha_x, alpha_y)
+    a_max = max(alpha_x, alpha_y)
+    if a_min >= 0.5:
+        return Primitive.GEMM
+    if a_max >= 2.0 / config.psys:
+        return Primitive.SPDMM
+    return Primitive.SPMM
+
+
+def argmin_primitive(
+    m: int,
+    n: int,
+    d: int,
+    alpha_x: float,
+    alpha_y: float,
+    config: AcceleratorConfig,
+) -> Primitive:
+    """Brute-force minimiser of the model, with Algorithm 7's tie-breaks
+    (GEMM wins ties at ``alpha_min = 1/2``; SpDMM wins at
+    ``alpha_max = 2/psys``)."""
+    candidates = (Primitive.GEMM, Primitive.SPDMM, Primitive.SPMM)
+    costs = {
+        prim: model_cycles(prim, m, n, d, alpha_x, alpha_y, config)
+        for prim in candidates
+    }
+    best = min(costs.values())
+    # deterministic tie-break in region order
+    for prim in candidates:
+        if costs[prim] <= best:
+            return prim
+    return Primitive.GEMM  # pragma: no cover - unreachable
+
+
+@dataclass
+class PerformanceModel:
+    """Convenience wrapper binding the model to one configuration."""
+
+    config: AcceleratorConfig
+
+    def cycles(
+        self, primitive: Primitive, m: int, n: int, d: int,
+        alpha_x: float, alpha_y: float,
+    ) -> float:
+        return model_cycles(primitive, m, n, d, alpha_x, alpha_y, self.config)
+
+    def best(self, alpha_x: float, alpha_y: float) -> Primitive:
+        return region_primitive(alpha_x, alpha_y, self.config)
+
+    def crossover_densities(self) -> dict:
+        """The §VI-A region boundaries for this configuration."""
+        return {
+            "gemm_spdmm_alpha_min": 0.5,
+            "spdmm_spmm_alpha_max": 2.0 / self.config.psys,
+        }

@@ -1,0 +1,70 @@
+"""Run statistics: per-kernel and whole-run accounting.
+
+Everything the evaluation section reports is derived from these records:
+accelerator latency (Table VII/X), primitive histograms, runtime-system
+overhead and its hidden fraction (Fig. 13), memory traffic, MAC counts,
+load balance (the §VI-C eta ablation) and the per-kernel timeline.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hw.report import Primitive
+from repro.ir.kernel import KernelType
+
+
+@dataclass
+class KernelStats:
+    """Execution record of one kernel."""
+
+    kernel_id: str
+    ktype: KernelType
+    num_tasks: int
+    num_pairs: int
+    #: kernel makespan in accelerator cycles (barrier to barrier)
+    cycles: float
+    primitive_counts: Counter
+    macs: int
+    bytes_read: int
+    bytes_written: int
+    compute_cycles: float
+    memory_cycles: float
+    transform_cycles: float
+    profile_cycles: float
+    #: density of the produced feature matrix (runtime-profiled)
+    out_density: float
+    #: soft-processor seconds spent on this kernel's K2P analysis
+    analysis_seconds: float
+    #: per-core busy cycles inside this kernel
+    core_busy: np.ndarray
+
+    @property
+    def skipped_pairs(self) -> int:
+        return self.primitive_counts.get(Primitive.SKIP, 0)
+
+    def load_balance(self) -> float:
+        mx = float(self.core_busy.max()) if self.core_busy.size else 0.0
+        if mx == 0.0:
+            return 1.0
+        return float(self.core_busy.mean()) / mx
+
+
+def total_primitive_counts(kernel_stats: list[KernelStats]) -> Counter:
+    total: Counter = Counter()
+    for ks in kernel_stats:
+        total.update(ks.primitive_counts)
+    return total
+
+
+def geomean(values) -> float:
+    """Geometric mean (the paper's average for speedups)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geomean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geomean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))

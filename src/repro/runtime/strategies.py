@@ -1,0 +1,128 @@
+"""Kernel-to-primitive mapping strategies (paper §VIII-B).
+
+- :class:`Static1` (S1) — the HyGCN / BoostGCN mapping: Aggregate ->
+  SpDMM (adjacency sparse), Update -> GEMM.  Ignores feature and weight
+  sparsity entirely.
+- :class:`Static2` (S2) — the AWB-GCN mapping: both kernels -> SpDMM with
+  the *left* operand treated as the sparse one (A for Aggregate, H for
+  Update).  Ignores weight sparsity and the dense-feature case.
+- :class:`DynamicMapping` — the paper's Algorithm 7 (region rule + empty-
+  partition skipping), charged to the soft processor.
+- :class:`OracleMapping` — picks the model-minimising primitive per pair
+  *without* the skip short-cut; used by ablations to show the region rule
+  matches the model's argmin.
+- :class:`FixedMapping` — force a single primitive everywhere (ablation).
+
+Static strategies perform no per-pair analysis (their mapping is burnt
+into the accelerator control flow), so they charge no runtime-system
+time and never skip empty partitions — both effects the paper attributes
+to dynamic mapping (§VIII-C).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.config import AcceleratorConfig
+from repro.hw.core import PairDecision
+from repro.hw.report import Primitive
+from repro.ir.kernel import KernelIR, KernelType
+from repro.runtime.analyzer import Analyzer, PairInfo
+from repro.runtime.perf_model import argmin_primitive
+
+
+class MappingStrategy(ABC):
+    """Decides the primitive for each partition pair of each kernel."""
+
+    #: display name (matches the paper's labels)
+    name: str = "base"
+    #: True when the strategy runs Algorithm 7 on the soft processor
+    charges_analysis: bool = False
+
+    def __init__(self, config: AcceleratorConfig) -> None:
+        self.config = config
+
+    @abstractmethod
+    def decide(self, kernel: KernelIR, info: PairInfo) -> PairDecision:
+        """Map one (Xit, Ytj) pair to a primitive."""
+
+
+class DynamicMapping(MappingStrategy):
+    """The paper's dynamic K2P mapping (Algorithm 7)."""
+
+    name = "Dynamic"
+    charges_analysis = True
+
+    def __init__(self, config: AcceleratorConfig) -> None:
+        super().__init__(config)
+        self._analyzer = Analyzer(config)
+
+    def decide(self, kernel: KernelIR, info: PairInfo) -> PairDecision:
+        return self._analyzer.decide(info)
+
+
+class Static1(MappingStrategy):
+    """S1: Aggregate -> SpDMM, Update -> GEMM (HyGCN [3], BoostGCN [4])."""
+
+    name = "S1"
+
+    def decide(self, kernel: KernelIR, info: PairInfo) -> PairDecision:
+        if kernel.ktype is KernelType.AGGREGATE:
+            return PairDecision(Primitive.SPDMM)
+        return PairDecision(Primitive.GEMM)
+
+
+class Static2(MappingStrategy):
+    """S2: everything -> SpDMM with the left operand sparse (AWB-GCN [17])."""
+
+    name = "S2"
+
+    def decide(self, kernel: KernelIR, info: PairInfo) -> PairDecision:
+        return PairDecision(Primitive.SPDMM)
+
+
+class OracleMapping(MappingStrategy):
+    """Model-argmin mapping without the empty-partition skip."""
+
+    name = "Oracle"
+    charges_analysis = True
+
+    def decide(self, kernel: KernelIR, info: PairInfo) -> PairDecision:
+        prim = argmin_primitive(
+            info.m, info.n, info.d, info.alpha_x, info.alpha_y, self.config
+        )
+        transposed = prim is Primitive.SPDMM and info.alpha_y < info.alpha_x
+        return PairDecision(prim, transposed=transposed)
+
+
+class FixedMapping(MappingStrategy):
+    """Force one primitive for every pair (ablation baseline)."""
+
+    charges_analysis = False
+
+    def __init__(self, config: AcceleratorConfig, primitive: Primitive) -> None:
+        super().__init__(config)
+        self.primitive = primitive
+        self.name = f"Fixed-{primitive.value}"
+
+    def decide(self, kernel: KernelIR, info: PairInfo) -> PairDecision:
+        return PairDecision(self.primitive)
+
+
+STRATEGIES = {
+    "Dynamic": DynamicMapping,
+    "S1": Static1,
+    "S2": Static2,
+    "Oracle": OracleMapping,
+}
+
+
+def make_strategy(name: str, config: AcceleratorConfig) -> MappingStrategy:
+    """Instantiate a strategy by its paper label."""
+    if name in STRATEGIES:
+        return STRATEGIES[name](config)
+    for prim in Primitive:
+        if name == f"Fixed-{prim.value}":
+            return FixedMapping(config, prim)
+    raise KeyError(f"unknown strategy {name!r}; expected one of "
+                   f"{sorted(STRATEGIES)} or Fixed-<primitive>")

@@ -1,0 +1,115 @@
+"""Tests for the baseline platform models (Table V, Fig. 14, Table X)."""
+
+import pytest
+
+from repro.baselines import (
+    ACCELERATOR_BASELINES,
+    FRAMEWORKS,
+    PLATFORMS,
+    accelerator_latency,
+    framework_latency,
+    measured_reference_seconds,
+)
+from repro.baselines.cpu_gpu import OutOfMemoryError
+from repro.datasets import load_dataset
+from repro.gnn import build_model, init_weights
+
+
+@pytest.fixture(scope="module")
+def small_cora():
+    return load_dataset("CO", scale=0.2, seed=1)
+
+
+class TestPlatforms:
+    def test_table_v_specs(self):
+        assert PLATFORMS["cpu"].peak_tflops == 3.7
+        assert PLATFORMS["gpu"].mem_bw_gbps == 936.2
+        assert PLATFORMS["dynasparse"].peak_tflops == 0.512
+        assert PLATFORMS["boostgcn"].mem_bw_gbps == 77.0
+
+    def test_peak_macs(self):
+        assert PLATFORMS["cpu"].peak_macs_per_s == pytest.approx(1.85e12)
+
+
+class TestFrameworkModels:
+    def test_all_four_frameworks_defined(self):
+        assert set(FRAMEWORKS) == {"PyG-CPU", "DGL-CPU", "PyG-GPU", "DGL-GPU"}
+
+    def test_latency_positive_and_finite(self, small_cora):
+        model = build_model("GCN", small_cora.num_features, 16,
+                            small_cora.num_classes)
+        for name in FRAMEWORKS:
+            t = framework_latency(name, model, small_cora)
+            assert t is not None and t > 0
+
+    def test_cpu_slower_than_gpu_on_large(self):
+        data = load_dataset("FL", scale=0.1, seed=2)
+        model = build_model("GCN", data.num_features, 128, data.num_classes)
+        assert framework_latency("PyG-CPU", model, data) > framework_latency(
+            "PyG-GPU", model, data
+        )
+
+    def test_dgl_cpu_faster_than_pyg_cpu(self, small_cora):
+        """Fig. 14: DGL-CPU ~2x faster than PyG-CPU (306x vs 141.9x)."""
+        model = build_model("GCN", small_cora.num_features, 16,
+                            small_cora.num_classes)
+        assert framework_latency("DGL-CPU", model, small_cora) < \
+            framework_latency("PyG-CPU", model, small_cora)
+
+    def test_nell_oom_on_gpu(self):
+        """Fig. 14 omits some GPU results due to OOM; NELL's 61k-dim
+        dense intermediates blow the RTX3090's 24 GB."""
+        data = load_dataset("NE", scale=0.9, feature_dim=61278, seed=3)
+        model = build_model("GCN", 61278, 128, data.num_classes)
+        assert framework_latency("PyG-GPU", model, data) is None
+        with pytest.raises(OutOfMemoryError):
+            FRAMEWORKS["PyG-GPU"].latency_seconds(model, data)
+
+    def test_overhead_dominates_small_graphs(self, small_cora):
+        """On tiny graphs the GPU time is roughly kernel-count x overhead."""
+        model = build_model("GCN", small_cora.num_features, 16,
+                            small_cora.num_classes)
+        t = framework_latency("PyG-GPU", model, small_cora)
+        overhead = 4 * FRAMEWORKS["PyG-GPU"].kernel_overhead_s
+        assert t < 3 * overhead
+
+
+class TestAcceleratorBaselines:
+    def test_both_defined(self):
+        assert set(ACCELERATOR_BASELINES) == {"BoostGCN", "HyGCN"}
+
+    def test_latency_positive(self, small_cora):
+        model = build_model("GCN", small_cora.num_features, 16,
+                            small_cora.num_classes)
+        for name in ACCELERATOR_BASELINES:
+            assert accelerator_latency(name, model, small_cora) > 0
+
+    def test_table_x_na_entries(self):
+        model = build_model("GCN", 61278, 128, 186)
+        ne = load_dataset("NE", scale=0.02, feature_dim=61278, seed=4)
+        assert accelerator_latency("BoostGCN", model, ne) is None
+        assert accelerator_latency("HyGCN", model, ne) is None
+
+    def test_hygcn_aggregation_penalty(self, small_cora):
+        """HyGCN's edge-centric windows are far less efficient on
+        scattered graphs than BoostGCN's partition-centric design."""
+        model = build_model("GCN", small_cora.num_features, 16,
+                            small_cora.num_classes)
+        assert accelerator_latency("HyGCN", model, small_cora) > \
+            accelerator_latency("BoostGCN", model, small_cora)
+
+
+class TestMeasuredReference:
+    def test_measured_time_positive(self, small_cora):
+        model = build_model("GCN", small_cora.num_features, 16,
+                            small_cora.num_classes)
+        w = init_weights(model)
+        t = measured_reference_seconds(model, small_cora, w, repeats=1)
+        assert 0 < t < 60
+
+    def test_repeats_validated(self, small_cora):
+        model = build_model("GCN", small_cora.num_features, 16,
+                            small_cora.num_classes)
+        with pytest.raises(ValueError):
+            measured_reference_seconds(model, small_cora, init_weights(model),
+                                       repeats=0)

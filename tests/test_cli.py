@@ -1,0 +1,42 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "CiteSeer" in out and "Reddit" in out
+
+    def test_resources_command(self, capsys):
+        assert main(["resources"]) == 0
+        out = capsys.readouterr().out
+        assert "Utilization" in out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "--dataset", "CO", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out and "primitives" in out
+
+    def test_run_with_pruning(self, capsys):
+        assert main([
+            "run", "--dataset", "CO", "--scale", "0.2", "--prune", "0.9",
+            "--strategy", "S1",
+        ]) == 0
+        assert "latency" in capsys.readouterr().out
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "--dataset", "CO", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "S1" in out and "S2" in out and "Dynamic" in out
+
+    def test_bad_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--model", "GAT"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

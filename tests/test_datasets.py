@@ -1,0 +1,130 @@
+"""Tests for the synthetic dataset generators (Table VI equivalents)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets import (
+    DATASET_NAMES,
+    TABLE_VI,
+    load_dataset,
+    powerlaw_graph,
+    sparse_features,
+)
+from repro.formats.density import density
+
+
+class TestPowerlawGraph:
+    def test_exact_edge_count_directed(self):
+        a = powerlaw_graph(200, 1000, seed=1)
+        assert a.nnz == 1000
+        assert a.shape == (200, 200)
+
+    def test_symmetric_doubles_nnz(self):
+        a = powerlaw_graph(200, 500, seed=2, symmetric=True)
+        assert a.nnz == 1000
+        assert (a != a.T).nnz == 0
+
+    def test_no_self_loops(self):
+        a = powerlaw_graph(100, 400, seed=3)
+        assert a.diagonal().sum() == 0
+
+    def test_seeded_determinism(self):
+        a1 = powerlaw_graph(100, 300, seed=4)
+        a2 = powerlaw_graph(100, 300, seed=4)
+        assert (a1 != a2).nnz == 0
+        a3 = powerlaw_graph(100, 300, seed=5)
+        assert (a1 != a3).nnz > 0
+
+    def test_degree_skew(self):
+        """Power-law generation should produce hub vertices."""
+        a = powerlaw_graph(500, 3000, seed=6)
+        deg = np.asarray(a.sum(axis=1)).ravel()
+        assert deg.max() > 4 * deg.mean()
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            powerlaw_graph(10, 1000, seed=0)
+
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(ValueError):
+            powerlaw_graph(1, 0)
+
+
+class TestSparseFeatures:
+    @pytest.mark.parametrize("dens", [0.001, 0.01, 0.2])
+    def test_sparse_path_exact_nnz(self, dens):
+        h = sparse_features(300, 50, dens, seed=1)
+        assert sp.issparse(h)
+        assert h.nnz == int(round(dens * 300 * 50))
+
+    @pytest.mark.parametrize("dens", [0.5, 0.9, 1.0])
+    def test_dense_path_exact_nnz(self, dens):
+        h = sparse_features(100, 40, dens, seed=2)
+        assert isinstance(h, np.ndarray)
+        assert np.count_nonzero(h) == int(round(dens * 100 * 40))
+
+    def test_values_bounded_away_from_zero(self):
+        h = sparse_features(100, 20, 0.1, seed=3)
+        assert np.all(h.data >= 0.5) and np.all(h.data <= 1.5)
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            sparse_features(10, 10, 1.5)
+
+
+class TestCatalog:
+    def test_all_six_datasets_defined(self):
+        assert set(DATASET_NAMES) == {"CI", "CO", "PU", "FL", "NE", "RE"}
+
+    def test_table_vi_statistics(self):
+        # spot checks against the paper's Table VI
+        assert TABLE_VI["CI"].vertices == 3327
+        assert TABLE_VI["CO"].edges == 5429
+        assert TABLE_VI["PU"].features == 500
+        assert TABLE_VI["NE"].classes == 186
+        assert TABLE_VI["RE"].h0_density == 1.0
+        assert TABLE_VI["CI"].hidden_dim == 16
+        assert TABLE_VI["FL"].hidden_dim == 128
+
+    def test_full_scale_cora_matches_spec(self):
+        data = load_dataset("CO", scale=1.0, seed=0)
+        spec = TABLE_VI["CO"]
+        assert data.num_vertices == spec.vertices
+        # symmetric storage: ~2 |E| nonzeros
+        assert data.num_edges == 2 * spec.edges
+        assert data.h0.shape == (spec.vertices, spec.features)
+        # adjacency density reproduces the paper's column (~0.14%)
+        assert density(data.a) == pytest.approx(spec.a_density, rel=0.15)
+        assert density(data.h0) == pytest.approx(spec.h0_density, rel=0.05)
+
+    def test_scaled_dataset_shrinks(self):
+        full = load_dataset("CO", scale=1.0)
+        small = load_dataset("CO", scale=0.25)
+        assert small.num_vertices == pytest.approx(full.num_vertices * 0.25, rel=0.02)
+        assert small.num_edges < full.num_edges
+
+    def test_feature_dim_override(self):
+        data = load_dataset("NE", scale=0.05, feature_dim=128)
+        assert data.num_features == 128
+        assert density(data.h0) == pytest.approx(
+            TABLE_VI["NE"].h0_density, rel=0.3
+        )
+
+    def test_meta(self):
+        data = load_dataset("CI", scale=0.2)
+        meta = data.meta()
+        assert meta.num_vertices == data.num_vertices
+        assert meta.num_edges == data.num_edges
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("OGBN")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("CO", scale=0.0)
+
+    def test_reddit_defaults_scaled(self):
+        # ensure the default does not try to build the 110M-edge graph
+        assert TABLE_VI["RE"].default_scale < 0.2

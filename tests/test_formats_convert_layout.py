@@ -1,0 +1,133 @@
+"""Tests for the D2S/S2D format converters (Fig. 8) and the LTU/Merger."""
+
+import numpy as np
+import pytest
+
+from repro.formats.convert import DenseToSparseModule, SparseToDenseModule
+from repro.formats.coo import COOMatrix
+from repro.formats.dense import DenseMatrix, Layout
+from repro.formats.layout import LayoutMerger, LayoutTransformationUnit
+
+
+class TestD2SStagedPipeline:
+    """The faithful prefix-sum shifting pipeline of Fig. 8."""
+
+    def test_paper_example(self):
+        # Fig. 8's running example: [7 8 0 6 0 0 1 ...] compacts to [7 8 6 1]
+        d2s = DenseToSparseModule(width=8)
+        values = np.array([7, 8, 0, 6, 0, 0, 1, 0], dtype=np.float32)
+        out_val, out_idx, snapshots = d2s.compact_staged(values)
+        assert list(out_val) == [7.0, 8.0, 6.0, 1.0]
+        assert list(out_idx) == [0, 1, 3, 6]
+        assert len(snapshots) == 3  # log2(8) stages
+
+    def test_all_zero_chunk(self):
+        d2s = DenseToSparseModule(width=4)
+        out_val, out_idx, _ = d2s.compact_staged(np.zeros(4, dtype=np.float32))
+        assert out_val.size == 0
+        assert out_idx.size == 0
+
+    def test_all_nonzero_chunk(self):
+        d2s = DenseToSparseModule(width=4)
+        vals = np.array([1, 2, 3, 4], dtype=np.float32)
+        out_val, out_idx, _ = d2s.compact_staged(vals)
+        np.testing.assert_array_equal(out_val, vals)
+        np.testing.assert_array_equal(out_idx, [0, 1, 2, 3])
+
+    @pytest.mark.parametrize("width", [2, 4, 8, 16])
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_direct_compaction(self, width, seed):
+        rng = np.random.default_rng(seed)
+        vals = rng.integers(0, 3, size=width).astype(np.float32)
+        d2s = DenseToSparseModule(width=width)
+        out_val, out_idx, _ = d2s.compact_staged(vals)
+        expect_idx = np.nonzero(vals)[0]
+        np.testing.assert_array_equal(out_idx, expect_idx)
+        np.testing.assert_array_equal(out_val, vals[expect_idx])
+
+    def test_chunk_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            DenseToSparseModule(width=4).compact_staged(np.ones(5))
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            DenseToSparseModule(width=3)
+
+
+class TestD2SFastPath:
+    def test_convert_matches_dense(self):
+        rng = np.random.default_rng(1)
+        dense = (rng.random((13, 9)) < 0.3).astype(np.float32) * 5
+        coo, report = DenseToSparseModule(width=8).convert(dense)
+        np.testing.assert_array_equal(coo.to_dense(), dense)
+        assert report.elements_in == 13 * 9
+        assert report.elements_out == int(np.count_nonzero(dense))
+
+    def test_cycle_model(self):
+        d2s = DenseToSparseModule(width=16)
+        assert d2s.cycles_for(0) == 0
+        assert d2s.cycles_for(16) == 1 + 4
+        assert d2s.cycles_for(17) == 2 + 4
+        assert d2s.cycles_for(1600) == 100 + 4
+
+    def test_throughput_is_width_per_cycle(self):
+        d2s = DenseToSparseModule(width=8)
+        # streaming cycles grow linearly at 1/width slope
+        c1 = d2s.cycles_for(8_000)
+        c2 = d2s.cycles_for(16_000)
+        assert c2 - c1 == 1000
+
+
+class TestS2D:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(2)
+        dense = (rng.random((6, 7)) < 0.4).astype(np.float32) * 3
+        coo = COOMatrix.from_dense(dense)
+        out, report = SparseToDenseModule(width=4).convert(coo)
+        np.testing.assert_array_equal(out, dense)
+        assert report.elements_out == 42
+
+    def test_cycles_bounded_by_dense_size(self):
+        s2d = SparseToDenseModule(width=16)
+        assert s2d.cycles_for(160) == 10 + 4
+
+
+class TestLayoutTransformationUnit:
+    def test_dense_transform_flips_layout_only(self):
+        ltu = LayoutTransformationUnit(width=8)
+        m = DenseMatrix(np.arange(12, dtype=np.float32).reshape(3, 4))
+        out, report = ltu.transform_dense(m)
+        assert out.layout is Layout.COL_MAJOR
+        np.testing.assert_array_equal(out.data, m.data)
+        assert report.cycles == int(np.ceil(12 / 8)) + ltu.pipeline_stages
+
+    def test_coo_transform_resorts(self):
+        ltu = LayoutTransformationUnit(width=4)
+        coo = COOMatrix(row=[0, 1, 1], col=[2, 0, 1], val=[1, 2, 3], shape=(2, 3))
+        out, report = ltu.transform_coo(coo)
+        assert out.layout is Layout.COL_MAJOR
+        assert out.is_sorted()
+        assert report.elements == 3
+
+    def test_involution(self):
+        ltu = LayoutTransformationUnit(width=4)
+        m = DenseMatrix(np.ones((2, 2), dtype=np.float32))
+        twice, _ = ltu.transform_dense(ltu.transform_dense(m)[0])
+        assert twice.layout is m.layout
+
+    def test_zero_elements_free(self):
+        assert LayoutTransformationUnit(width=8).cycles_for(0) == 0
+
+
+class TestLayoutMerger:
+    def test_merge_adds_partials(self):
+        merger = LayoutMerger(width=4)
+        a = np.array([[1.0, 0.0], [0.0, 2.0]], dtype=np.float32)
+        b = np.array([[0.0, 3.0], [4.0, 0.0]], dtype=np.float32)
+        merged, report = merger.merge(a, b)
+        np.testing.assert_array_equal(merged, a + b)
+        assert report.cycles == 1
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LayoutMerger().merge(np.zeros((2, 2)), np.zeros((2, 3)))

@@ -1,0 +1,138 @@
+"""Unit tests for the dense and COO matrix formats (paper §V-A)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats.coo import BYTES_PER_NNZ, COOMatrix
+from repro.formats.dense import DenseMatrix, Layout
+
+
+class TestLayout:
+    def test_flip(self):
+        assert Layout.ROW_MAJOR.flipped() is Layout.COL_MAJOR
+        assert Layout.COL_MAJOR.flipped() is Layout.ROW_MAJOR
+
+
+class TestDenseMatrix:
+    def test_basic_queries(self):
+        m = DenseMatrix(np.array([[1.0, 0.0], [0.0, 2.0], [3.0, 0.0]]))
+        assert m.shape == (3, 2)
+        assert m.num_elements == 6
+        assert m.nnz == 3
+        assert m.density == pytest.approx(0.5)
+        assert m.nbytes == 24
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            DenseMatrix(np.zeros(5))
+
+    def test_with_layout_preserves_values(self):
+        m = DenseMatrix(np.arange(6, dtype=np.float32).reshape(2, 3))
+        t = m.with_layout(Layout.COL_MAJOR)
+        assert t.layout is Layout.COL_MAJOR
+        np.testing.assert_array_equal(t.data, m.data)
+
+    def test_row_and_submatrix_notation(self):
+        data = np.arange(12, dtype=np.float32).reshape(4, 3)
+        m = DenseMatrix(data)
+        np.testing.assert_array_equal(m.row(2), data[2])
+        np.testing.assert_array_equal(m.submatrix(1, 3), data[1:3])
+
+    def test_zeros_constructor(self):
+        z = DenseMatrix.zeros(3, 4)
+        assert z.shape == (3, 4)
+        assert z.nnz == 0
+        assert z.density == 0.0
+
+    def test_empty_density_is_zero(self):
+        z = DenseMatrix(np.zeros((0, 5), dtype=np.float32))
+        assert z.density == 0.0
+
+    def test_equality(self):
+        a = DenseMatrix(np.ones((2, 2)))
+        b = DenseMatrix(np.ones((2, 2)))
+        c = DenseMatrix(np.ones((2, 2)), Layout.COL_MAJOR)
+        assert a == b
+        assert a != c
+
+
+class TestCOOMatrix:
+    def test_from_dense_roundtrip(self):
+        data = np.array([[0, 1, 0], [2, 0, 3], [0, 0, 0]], dtype=np.float32)
+        coo = COOMatrix.from_dense(data)
+        assert coo.nnz == 3
+        np.testing.assert_array_equal(coo.to_dense(), data)
+
+    def test_density_and_bytes(self):
+        data = np.eye(4, dtype=np.float32)
+        coo = COOMatrix.from_dense(data)
+        assert coo.density == pytest.approx(0.25)
+        assert coo.nbytes == 4 * BYTES_PER_NNZ
+
+    def test_row_major_sort_order(self):
+        coo = COOMatrix(
+            row=[2, 0, 1, 0], col=[0, 1, 2, 0], val=[1, 2, 3, 4], shape=(3, 3)
+        )
+        assert coo.is_sorted()
+        assert list(coo.row) == [0, 0, 1, 2]
+        assert list(coo.col) == [0, 1, 2, 0]
+
+    def test_col_major_sort_order(self):
+        coo = COOMatrix(
+            row=[2, 0, 1, 0], col=[0, 1, 2, 0], val=[1, 2, 3, 4],
+            shape=(3, 3), layout=Layout.COL_MAJOR,
+        )
+        assert coo.is_sorted()
+        assert list(coo.col) == [0, 0, 1, 2]
+
+    def test_with_layout_resorts(self):
+        coo = COOMatrix(row=[0, 1], col=[1, 0], val=[5, 6], shape=(2, 2))
+        flipped = coo.with_layout(Layout.COL_MAJOR)
+        assert flipped.is_sorted()
+        np.testing.assert_array_equal(flipped.to_dense(), coo.to_dense())
+
+    def test_transpose_swaps_shape_and_layout(self):
+        coo = COOMatrix(row=[0, 1], col=[2, 0], val=[1, 2], shape=(2, 3))
+        t = coo.transpose()
+        assert t.shape == (3, 2)
+        assert t.layout is Layout.COL_MAJOR
+        np.testing.assert_array_equal(t.to_dense(), coo.to_dense().T)
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix(row=[5], col=[0], val=[1.0], shape=(3, 3))
+        with pytest.raises(ValueError):
+            COOMatrix(row=[0], col=[-1], val=[1.0], shape=(3, 3))
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix(row=[0, 1], col=[0], val=[1.0], shape=(2, 2))
+
+    def test_from_scipy(self):
+        mat = sp.random(10, 8, density=0.3, format="csr", dtype=np.float32,
+                        rng=np.random.default_rng(0))
+        coo = COOMatrix.from_scipy(mat)
+        np.testing.assert_allclose(coo.to_dense(), mat.toarray())
+
+    def test_to_scipy_roundtrip(self):
+        data = np.array([[0, 1.5], [2.5, 0]], dtype=np.float32)
+        coo = COOMatrix.from_dense(data)
+        np.testing.assert_array_equal(coo.to_scipy().toarray(), data)
+
+    def test_empty(self):
+        coo = COOMatrix.empty((4, 5))
+        assert coo.nnz == 0
+        assert coo.density == 0.0
+        assert coo.to_dense().shape == (4, 5)
+
+    def test_row_slice(self):
+        data = np.array([[0, 1, 2], [3, 0, 0]], dtype=np.float32)
+        coo = COOMatrix.from_dense(data)
+        cols, vals = coo.row_slice(0)
+        assert list(cols) == [1, 2]
+        assert list(vals) == [1.0, 2.0]
+
+    def test_duplicate_coordinates_accumulate(self):
+        coo = COOMatrix(row=[0, 0], col=[0, 0], val=[1.0, 2.0], shape=(1, 1))
+        assert coo.to_dense()[0, 0] == pytest.approx(3.0)

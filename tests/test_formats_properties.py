@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) on the format substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.formats.coo import COOMatrix
+from repro.formats.convert import DenseToSparseModule, SparseToDenseModule
+from repro.formats.dense import Layout
+from repro.formats.partition import PartitionedMatrix, block_nnz_grid
+
+
+@st.composite
+def small_dense(draw, max_dim=12):
+    m = draw(st.integers(1, max_dim))
+    n = draw(st.integers(1, max_dim))
+    flat = draw(
+        st.lists(
+            st.sampled_from([0.0, 0.0, 0.0, 1.0, -2.5, 7.0]),
+            min_size=m * n, max_size=m * n,
+        )
+    )
+    return np.array(flat, dtype=np.float32).reshape(m, n)
+
+
+class TestCOORoundtrips:
+    @given(small_dense())
+    @settings(max_examples=60, deadline=None)
+    def test_dense_coo_dense(self, dense):
+        coo = COOMatrix.from_dense(dense)
+        np.testing.assert_array_equal(coo.to_dense(), dense)
+        assert coo.is_sorted()
+
+    @given(small_dense())
+    @settings(max_examples=60, deadline=None)
+    def test_layout_flip_preserves_values(self, dense):
+        coo = COOMatrix.from_dense(dense)
+        flipped = coo.with_layout(Layout.COL_MAJOR)
+        np.testing.assert_array_equal(flipped.to_dense(), dense)
+        assert flipped.is_sorted()
+
+    @given(small_dense())
+    @settings(max_examples=60, deadline=None)
+    def test_double_transpose_identity(self, dense):
+        coo = COOMatrix.from_dense(dense)
+        tt = coo.transpose().transpose()
+        assert tt.shape == coo.shape
+        assert tt.layout is coo.layout
+        np.testing.assert_array_equal(tt.to_dense(), dense)
+
+    @given(small_dense())
+    @settings(max_examples=60, deadline=None)
+    def test_nnz_matches_numpy(self, dense):
+        coo = COOMatrix.from_dense(dense)
+        assert coo.nnz == int(np.count_nonzero(dense))
+
+
+class TestConverterProperties:
+    @given(
+        st.lists(st.sampled_from([0.0, 0.0, 1.0, 3.0, -4.0]), min_size=1, max_size=16),
+        st.sampled_from([2, 4, 8, 16]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_staged_pipeline_equals_direct_compaction(self, vals, width):
+        vals = np.array(vals[:width], dtype=np.float32)
+        d2s = DenseToSparseModule(width=width)
+        out_val, out_idx, _ = d2s.compact_staged(vals)
+        expect = np.nonzero(vals)[0]
+        np.testing.assert_array_equal(out_idx, expect)
+        np.testing.assert_array_equal(out_val, vals[expect])
+
+    @given(small_dense())
+    @settings(max_examples=40, deadline=None)
+    def test_d2s_s2d_roundtrip(self, dense):
+        d2s = DenseToSparseModule(width=8)
+        s2d = SparseToDenseModule(width=8)
+        coo, _ = d2s.convert(dense)
+        back, _ = s2d.convert(coo)
+        np.testing.assert_array_equal(back, dense)
+
+    @given(st.integers(0, 10_000), st.sampled_from([4, 8, 16]))
+    @settings(max_examples=60, deadline=None)
+    def test_d2s_cycles_monotone(self, elements, width):
+        d2s = DenseToSparseModule(width=width)
+        assert d2s.cycles_for(elements) <= d2s.cycles_for(elements + width)
+
+
+class TestPartitionProperties:
+    @given(small_dense(), st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_reassembly_identity(self, dense, br, bc):
+        pm = PartitionedMatrix(dense, br, bc)
+        np.testing.assert_array_equal(pm.reassemble_from_blocks(), dense)
+
+    @given(small_dense(), st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_nnz_grid_partitions_total(self, dense, br, bc):
+        grid = block_nnz_grid(dense, br, bc)
+        assert grid.sum() == int(np.count_nonzero(dense))
+
+    @given(small_dense(), st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_block_sizes_sum_to_shape(self, dense, br, bc):
+        pm = PartitionedMatrix(dense, br, bc)
+        assert int(pm.row_block_sizes.sum()) == dense.shape[0]
+        assert int(pm.col_block_sizes.sum()) == dense.shape[1]
+
+    @given(small_dense(), st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_densities_in_unit_interval(self, dense, br, bc):
+        pm = PartitionedMatrix(dense, br, bc)
+        grid = pm.density_grid
+        assert np.all(grid >= 0.0) and np.all(grid <= 1.0)

@@ -1,0 +1,146 @@
+"""Tests for the GNN layer/model library (Fig. 10 expansion)."""
+
+import numpy as np
+import pytest
+
+from repro.gnn.layers import GraphMeta, LayerSpec
+from repro.gnn.models import (
+    MODEL_NAMES,
+    ModelSpec,
+    build_gcn,
+    build_gin,
+    build_model,
+    build_sage,
+    build_sgc,
+    init_weights,
+)
+from repro.ir.kernel import Activation, AggOp, KernelType
+
+META = GraphMeta(100, 400)
+
+
+class TestLayerSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LayerSpec("bogus", 4, 4)
+        with pytest.raises(ValueError):
+            LayerSpec("gcn", 0, 4)
+
+    def test_gcn_weights_and_adjacency(self):
+        layer = LayerSpec("gcn", 8, 4)
+        assert layer.weight_shapes(1) == {"W1": (8, 4)}
+        assert layer.adjacency_name == "A_norm"
+        assert layer.agg_op is AggOp.SUM
+
+    def test_sage_two_weight_matrices(self):
+        layer = LayerSpec("sage", 8, 4)
+        assert set(layer.weight_shapes(2)) == {"W2_root", "W2_neigh"}
+        assert layer.adjacency_name == "A_mean"
+        assert layer.agg_op is AggOp.MEAN
+
+    def test_gin_mlp_shapes(self):
+        layer = LayerSpec("gin", 8, 4)
+        shapes = layer.weight_shapes(1)
+        assert shapes["W1_mlp1"] == (8, 4)
+        assert shapes["W1_mlp2"] == (4, 4)
+        assert layer.adjacency_name == "A_gin"
+
+    def test_gcn_expansion_update_then_aggregate(self):
+        layer = LayerSpec("gcn", 8, 4, activation=Activation.RELU)
+        kernels = layer.expand(1, "H0", "H1", META)
+        assert [k.ktype for k in kernels] == [KernelType.UPDATE, KernelType.AGGREGATE]
+        # activation rides on the layer's last kernel
+        assert not kernels[0].activation_enabled
+        assert kernels[1].activation is Activation.RELU
+
+    def test_sage_expansion_branches(self):
+        kernels = LayerSpec("sage", 8, 4, activation=Activation.RELU).expand(
+            1, "H0", "H1", META
+        )
+        assert len(kernels) == 3
+        root, agg, neigh = kernels
+        assert root.out_name == "h1_root"
+        assert agg.ktype is KernelType.AGGREGATE
+        assert neigh.accumulate_into == "h1_root"
+        assert neigh.out_name == "H1"
+        assert neigh.activation_enabled
+
+    def test_gin_expansion_relu_between_mlp_layers(self):
+        kernels = LayerSpec("gin", 8, 4).expand(1, "H0", "H1", META)
+        agg, mlp1, mlp2 = kernels
+        assert agg.ktype is KernelType.AGGREGATE
+        assert mlp1.activation is Activation.RELU
+        assert mlp2.out_name == "H1"
+
+    def test_sgc_expansion_hops(self):
+        kernels = LayerSpec("sgc", 8, 4, hops=3).expand(1, "H0", "H1", META)
+        assert [k.ktype for k in kernels] == [
+            KernelType.AGGREGATE, KernelType.AGGREGATE, KernelType.AGGREGATE,
+            KernelType.UPDATE,
+        ]
+
+
+class TestModelSpec:
+    def test_dim_chain_validated(self):
+        with pytest.raises(ValueError):
+            ModelSpec("bad", [LayerSpec("gcn", 8, 4), LayerSpec("gcn", 5, 2)])
+        with pytest.raises(ValueError):
+            ModelSpec("empty", [])
+
+    def test_builders_match_names(self):
+        for name in MODEL_NAMES:
+            model = build_model(name, 16, 8, 4)
+            assert model.name == name
+            assert model.in_dim == 16
+            assert model.out_dim == 4
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            build_model("GAT", 8, 4, 2)
+
+    def test_two_layer_structure(self):
+        assert build_gcn(16, 8, 4).num_layers == 2
+        assert build_sage(16, 8, 4).num_layers == 2
+        assert build_gin(16, 8, 4).num_layers == 2
+        assert build_sgc(16, 4).num_layers == 1  # K hops + 1 update
+
+    def test_kernel_counts_per_fig10(self):
+        meta = META
+        assert len(build_gcn(16, 8, 4).expand_kernels(meta)) == 4
+        assert len(build_sage(16, 8, 4).expand_kernels(meta)) == 6
+        assert len(build_gin(16, 8, 4).expand_kernels(meta)) == 6
+        assert len(build_sgc(16, 4, hops=2).expand_kernels(meta)) == 3
+
+    def test_final_output_named_h_out(self):
+        for name in MODEL_NAMES:
+            kernels = build_model(name, 16, 8, 4).expand_kernels(META)
+            assert kernels[-1].out_name == "H_out"
+
+    def test_adjacency_names(self):
+        assert build_gcn(8, 4, 2).adjacency_names() == {"A_norm"}
+        assert build_sage(8, 4, 2).adjacency_names() == {"A_mean"}
+        assert build_gin(8, 4, 2).adjacency_names() == {"A_gin"}
+        assert build_sgc(8, 2).adjacency_names() == {"A_norm"}
+
+
+class TestInitWeights:
+    def test_shapes_and_dtype(self):
+        model = build_sage(16, 8, 4)
+        w = init_weights(model, seed=1)
+        for name, shape in model.weight_shapes().items():
+            assert w[name].shape == shape
+            assert w[name].dtype == np.float32
+
+    def test_seeded_determinism(self):
+        model = build_gcn(16, 8, 4)
+        w1 = init_weights(model, seed=7)
+        w2 = init_weights(model, seed=7)
+        w3 = init_weights(model, seed=8)
+        np.testing.assert_array_equal(w1["W1"], w2["W1"])
+        assert not np.array_equal(w1["W1"], w3["W1"])
+
+    def test_glorot_bound(self):
+        model = build_gcn(100, 50, 10)
+        w = init_weights(model, seed=0)
+        bound = np.sqrt(6.0 / 150)
+        assert np.abs(w["W1"]).max() <= bound

@@ -1,0 +1,60 @@
+"""Tests for the benchmark-harness formatting helpers."""
+
+import pytest
+
+from repro.harness import format_table, geomean, sci, speedup_fmt, write_result, results_dir
+
+
+class TestSci:
+    def test_paper_style(self):
+        assert sci(7.7e-3) == "7.7E-3"
+        assert sci(8.83e2) == "8.8E2"
+        assert sci(1.27e-1) == "1.3E-1"
+
+    def test_negative(self):
+        assert sci(-4.2e1) == "-4.2E1"
+
+    def test_zero_and_none(self):
+        assert sci(0.0) == "0.0E0"
+        assert sci(None) == "N/A"
+
+    def test_digits(self):
+        assert sci(3.14159, digits=3) == "3.14E0"
+
+
+class TestSpeedupFmt:
+    def test_small(self):
+        assert speedup_fmt(1.1283) == "1.13x"
+
+    def test_large_drops_decimals(self):
+        assert speedup_fmt(278.2) == "278x"
+
+    def test_none(self):
+        assert speedup_fmt(None) == "N/A"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        t = format_table(["name", "v"], [["a", 1], ["bb", 22]], title="T")
+        lines = t.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        # numeric column right-aligned
+        assert lines[3].rstrip().endswith("1")
+        assert lines[4].rstrip().endswith("22")
+
+    def test_wide_cells_extend_columns(self):
+        t = format_table(["x"], [["very-long-cell"]])
+        assert "very-long-cell" in t
+
+
+class TestWriteResult:
+    def test_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        p = write_result("unit_test_artifact", "hello")
+        assert p.read_text() == "hello\n"
+        assert results_dir() == tmp_path
+
+
+def test_geomean_reexport():
+    assert geomean([1.0, 4.0]) == pytest.approx(2.0)

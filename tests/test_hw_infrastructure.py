@@ -1,0 +1,200 @@
+"""Tests for buffers, memory, interconnect, soft processor and resources."""
+
+import numpy as np
+import pytest
+
+from conftest import make_tiny_config
+from repro.config import u250_default
+from repro.formats.coo import COOMatrix
+from repro.formats.dense import DenseMatrix
+from repro.hw.buffers import (
+    BankedBuffer,
+    BufferOverflowError,
+    CoreBuffers,
+    bank_conflict_rounds,
+    max_partition_dim,
+)
+from repro.hw.interconnect import ButterflyNetwork, routing_rounds
+from repro.hw.memory import ExternalMemory, pcie_transfer_seconds
+from repro.hw.resources import (
+    U250_AVAILABLE,
+    estimate_cc_resources,
+    estimate_resources,
+)
+from repro.hw.soft_processor import SoftProcessor
+
+
+class TestBankedBuffer:
+    def test_capacity_dense(self):
+        buf = BankedBuffer("B", words=16, num_banks=4)
+        ok = DenseMatrix(np.zeros((4, 4), dtype=np.float32))
+        too_big = DenseMatrix(np.zeros((5, 4), dtype=np.float32))
+        assert buf.fits(ok)
+        assert not buf.fits(too_big)
+        buf.load(ok)
+        assert buf.content is ok
+        with pytest.raises(BufferOverflowError):
+            buf.load(too_big)
+
+    def test_capacity_coo_three_words_per_nnz(self):
+        buf = BankedBuffer("B", words=9, num_banks=4)
+        coo = COOMatrix.from_dense(np.eye(3, dtype=np.float32))
+        assert buf.words_required(coo) == 9
+        assert buf.fits(coo)
+
+    def test_bank_mapping(self):
+        buf = BankedBuffer("B", words=64, num_banks=4)
+        assert buf.bank_of_row(0) == 0
+        assert buf.bank_of_row(5) == 1
+        assert buf.rows_per_cycle() == 4
+
+    def test_core_buffers_builder(self):
+        bufs = CoreBuffers.build(128, 4)
+        assert bufs.buffer_u.name == "BufferU"
+        assert bufs.result_buffer.words == 128
+        bufs.buffer_o.load(DenseMatrix(np.zeros((2, 2), dtype=np.float32)))
+        bufs.clear()
+        assert bufs.buffer_o.content is None
+
+    def test_bad_banks(self):
+        with pytest.raises(ValueError):
+            BankedBuffer("B", words=16, num_banks=3)
+
+
+class TestMaxPartitionDim:
+    def test_g_of_so(self):
+        assert max_partition_dim(512 * 1024, align=16) == 720
+        assert max_partition_dim(100, align=1) == 10
+
+    def test_alignment(self):
+        assert max_partition_dim(1025, align=16) == 32
+
+    def test_bank_conflict_rounds(self):
+        dest = np.array([0, 1, 2, 3])
+        assert bank_conflict_rounds(dest, 4, 4) == 1
+        dest = np.array([0, 0, 0, 0])
+        assert bank_conflict_rounds(dest, 4, 4) == 4
+        assert bank_conflict_rounds(np.array([], dtype=int), 4, 4) == 0
+
+
+class TestExternalMemory:
+    def test_cycles_and_ledger(self):
+        cfg = u250_default()
+        mem = ExternalMemory(cfg)
+        # 308 bytes/cycle aggregate, 7 cores share
+        cycles = mem.read_cycles(308 * 7)
+        assert cycles == pytest.approx(49.0)
+        assert mem.ledger.bytes_read == 308 * 7
+        mem.write_cycles(616, active_cores=1)
+        assert mem.ledger.bytes_written == 616
+        assert mem.ledger.total == 308 * 7 + 616
+
+    def test_active_cores_share(self):
+        cfg = u250_default()
+        mem = ExternalMemory(cfg)
+        c_all = mem.read_cycles(1000)
+        c_two = mem.read_cycles(1000, active_cores=2)
+        assert c_all == pytest.approx(c_two * 7 / 2)
+
+    def test_reset(self):
+        mem = ExternalMemory(u250_default())
+        mem.read_cycles(100)
+        mem.reset()
+        assert mem.ledger.total == 0
+
+    def test_pcie_model(self):
+        cfg = u250_default()
+        assert pcie_transfer_seconds(11.2e9, cfg) == pytest.approx(1.0)
+
+
+class TestRoutingModels:
+    def test_routing_rounds_conflict_free(self):
+        assert routing_rounds(np.arange(8), 8, 8) == 1
+
+    def test_routing_rounds_hot_port(self):
+        assert routing_rounds(np.zeros(5, dtype=int), 8, 8) == 5
+
+    def test_butterfly_delivers_everything(self):
+        net = ButterflyNetwork(4)
+        trace = net.route(np.array([0, 1, 2, 3, 0, 1]))
+        assert trace.delivered == 6
+
+    def test_butterfly_at_least_effective_model(self):
+        net = ButterflyNetwork(8, issue_width=8)
+        rng = np.random.default_rng(0)
+        dest = rng.integers(0, 8, 32)
+        trace = net.route(dest)
+        assert trace.cycles >= routing_rounds(dest, 8, 8)
+
+    def test_butterfly_pipeline_latency(self):
+        # a single packet takes stages+1 cycles to traverse
+        net = ButterflyNetwork(8)
+        trace = net.route(np.array([5]))
+        assert trace.cycles >= net.stages
+
+    def test_bad_ports(self):
+        with pytest.raises(ValueError):
+            ButterflyNetwork(6)
+
+
+class TestSoftProcessor:
+    def test_k2p_cost(self):
+        cfg = u250_default()
+        soft = SoftProcessor(cfg)
+        s = soft.k2p_decision_seconds(1000)
+        expect = 1000 * cfg.soft_processor.instructions_per_k2p_decision / 500e6
+        assert s == pytest.approx(expect)
+        assert soft.stats.k2p_decisions == 1000
+
+    def test_dispatch_includes_axi(self):
+        cfg = u250_default()
+        soft = SoftProcessor(cfg)
+        s = soft.dispatch_seconds(10)
+        instr = 10 * cfg.soft_processor.instructions_per_dispatch / 500e6
+        axi = 10 * 2 / 370e6
+        assert s == pytest.approx(instr + axi)
+
+    def test_conversion_to_accel_cycles(self):
+        soft = SoftProcessor(u250_default())
+        assert soft.seconds_to_accel_cycles(1.0) == pytest.approx(250e6)
+
+    def test_reset(self):
+        soft = SoftProcessor(u250_default())
+        soft.k2p_decision_seconds(5)
+        soft.reset()
+        assert soft.stats.seconds == 0.0
+
+
+class TestResources:
+    def test_fig9_reproduced_at_default(self):
+        report = estimate_resources(u250_default())
+        assert report.per_cc["DSP"] == 1024
+        assert report.per_cc["LUT"] == 118_000
+        assert report.per_cc["BRAM"] == 96
+        assert report.per_cc["URAM"] == 120
+        assert report.total["DSP"] == 7 * 1024 + 6 + 13
+        assert report.total["URAM"] == 840
+        assert report.fits
+
+    def test_fig9_utilization_band(self):
+        report = estimate_resources(u250_default())
+        util = report.utilization
+        # paper: 58.6% LUT, 58.4% DSP, 42.6% BRAM, 87.5% URAM
+        assert util["DSP"] == pytest.approx(0.584, abs=0.01)
+        assert util["URAM"] == pytest.approx(0.875, abs=0.01)
+        assert util["LUT"] == pytest.approx(0.586, abs=0.02)
+        assert util["BRAM"] == pytest.approx(0.426, abs=0.02)
+
+    def test_dsp_scales_quadratically(self):
+        cfg8 = u250_default().replace(psys=8)
+        assert estimate_cc_resources(cfg8)["DSP"] == 256
+
+    def test_psys32_does_not_fit(self):
+        cfg = u250_default().replace(psys=32)
+        report = estimate_resources(cfg)
+        assert report.total["DSP"] > U250_AVAILABLE["DSP"]
+        assert not report.fits
+
+    def test_format_table_renders(self):
+        table = estimate_resources(u250_default()).format_table()
+        assert "One CC" in table and "Utilization" in table

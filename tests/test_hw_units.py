@@ -1,0 +1,185 @@
+"""Tests for the three execution-mode units (GEMM / SpDMM / SPMM).
+
+Each unit is validated three ways: numerics against NumPy, the fast cycle
+model against Table IV's idealisation, and — crucially — the fast path
+against the faithful element-level simulation of the paper's algorithm.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import make_tiny_config, random_sparse
+from repro.hw.gemm_unit import gemm_compute_cycles, run_gemm, run_gemm_faithful
+from repro.hw.spdmm_unit import (
+    run_spdmm,
+    run_spdmm_faithful,
+    spdmm_compute_cycles,
+)
+from repro.hw.spmm_unit import (
+    run_spmm,
+    run_spmm_faithful,
+    spmm_compute_cycles,
+    spmm_workloads,
+)
+
+CFG = make_tiny_config()
+
+
+class TestGEMM:
+    def test_numerics(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((9, 7)).astype(np.float32)
+        y = rng.random((7, 5)).astype(np.float32)
+        z, rep = run_gemm(x, y, CFG)
+        np.testing.assert_allclose(z, x @ y, rtol=1e-5)
+        assert rep.macs == 9 * 7 * 5
+
+    def test_cycles_tile_exact(self):
+        # 9x7 @ 7x5 with psys=4: 3x2 tiles, each 7+8 cycles
+        assert gemm_compute_cycles(9, 7, 5, CFG) == 6 * (7 + 8)
+
+    def test_cycles_ge_table_iv_ideal(self):
+        for m, n, d in [(4, 4, 4), (16, 32, 8), (100, 3, 17)]:
+            ideal = m * n * d / CFG.psys**2
+            assert gemm_compute_cycles(m, n, d, CFG) >= ideal
+
+    def test_cycles_converge_to_ideal_for_large_aligned(self):
+        m = n = d = 64 * CFG.psys
+        exact = gemm_compute_cycles(m, n, d, CFG)
+        ideal = m * n * d / CFG.psys**2
+        assert exact / ideal < 1.1
+
+    def test_empty_dims(self):
+        assert gemm_compute_cycles(0, 4, 4, CFG) == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            run_gemm(np.ones((2, 3)), np.ones((4, 2)), CFG)
+
+    def test_faithful_matches_fast(self):
+        rng = np.random.default_rng(1)
+        x = rng.integers(0, 3, (6, 5)).astype(np.float32)
+        y = rng.integers(0, 3, (5, 7)).astype(np.float32)
+        z_fast, rep = run_gemm(x, y, CFG)
+        z_faith, cycles = run_gemm_faithful(x, y, CFG)
+        np.testing.assert_allclose(z_faith, z_fast, rtol=1e-6)
+        assert cycles == rep.compute
+
+    def test_gemm_ignores_sparsity(self):
+        """GEMM cycles are identical for dense and all-zero inputs."""
+        z0 = gemm_compute_cycles(8, 8, 8, CFG)
+        x = np.zeros((8, 8), dtype=np.float32)
+        _, rep = run_gemm(x, x, CFG)
+        assert rep.compute == z0
+
+
+class TestSpDMM:
+    def test_numerics(self):
+        x = random_sparse(10, 8, 0.3, seed=2)
+        y = np.random.default_rng(3).random((8, 6)).astype(np.float32)
+        z, rep = run_spdmm(x, y, CFG)
+        np.testing.assert_allclose(z, x.toarray() @ y, rtol=1e-5)
+        assert rep.macs == x.nnz * 6
+
+    def test_cycles_scale_with_nnz(self):
+        c1 = spdmm_compute_cycles(100, 16, CFG)
+        c2 = spdmm_compute_cycles(200, 16, CFG)
+        assert c2 > c1
+
+    def test_zero_nnz_free(self):
+        assert spdmm_compute_cycles(0, 16, CFG) == 0
+
+    def test_fetch_bound_thin_rows(self):
+        # d=1: MAC bound is nnz/8 but fetch bound nnz/2 dominates (psys=4)
+        cycles = spdmm_compute_cycles(100, 1, CFG)
+        assert cycles == int(np.ceil(100 / 2)) + CFG.pipeline_depth
+
+    def test_mac_bound_wide_rows(self):
+        # d large: MAC throughput p^2/2 dominates
+        cycles = spdmm_compute_cycles(10, 64, CFG)
+        assert cycles == int(np.ceil(10 * 64 / 8)) + CFG.pipeline_depth
+
+    def test_stored_zeros_skipped(self):
+        import scipy.sparse as sp
+
+        x = sp.csr_matrix(
+            (np.array([0.0, 2.0], dtype=np.float32), ([0, 1], [0, 1])),
+            shape=(2, 2),
+        )
+        y = np.eye(2, dtype=np.float32)
+        _, rep = run_spdmm(x, y, CFG)
+        assert rep.macs == 1 * 2  # only the true nonzero counts
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_faithful_numerics_and_cycle_bound(self, seed):
+        x = random_sparse(12, 10, 0.25, seed=seed)
+        y = np.random.default_rng(seed + 100).random((10, 5)).astype(np.float32)
+        z_fast, rep = run_spdmm(x, y, CFG)
+        z_faith, cycles = run_spdmm_faithful(x, y, CFG)
+        np.testing.assert_allclose(z_faith, z_fast, rtol=1e-4, atol=1e-5)
+        # faithful (with bank/unit conflicts) can never beat conflict-free
+        assert cycles >= rep.compute
+        # and congestion on random traffic stays bounded
+        assert cycles <= 6 * rep.compute + 10 * CFG.pipeline_depth
+
+
+class TestSPMM:
+    def test_numerics(self):
+        x = random_sparse(9, 11, 0.2, seed=4)
+        y = random_sparse(11, 6, 0.3, seed=5)
+        z, rep = run_spmm(x, y, CFG)
+        np.testing.assert_allclose(z, (x @ y).toarray(), rtol=1e-5)
+
+    def test_exact_mac_count(self):
+        x = random_sparse(9, 11, 0.2, seed=6)
+        y = random_sparse(11, 6, 0.3, seed=7)
+        _, macs = spmm_compute_cycles(x, y, CFG)
+        # independent computation of sum over X nonzeros of nnz(Y[col])
+        y_rows = np.diff(y.indptr)
+        expect = sum(
+            int(y_rows[j]) for i in range(9)
+            for j in x.indices[x.indptr[i] : x.indptr[i + 1]]
+        )
+        assert macs == expect
+
+    def test_latency_is_busiest_scp(self):
+        # all work lands on output row 0 -> SCP 0 serialises everything
+        import scipy.sparse as sp
+
+        x = sp.csr_matrix(np.array([[1, 1, 1, 1]] + [[0] * 4] * 7, dtype=np.float32))
+        y = sp.csr_matrix(np.ones((4, 4), dtype=np.float32))
+        loads, macs = spmm_workloads(x, y, CFG.psys)
+        assert macs == 16
+        assert loads[0] == 16
+        assert loads[1:].sum() == 0
+        cycles, _ = spmm_compute_cycles(x, y, CFG)
+        assert cycles == 16 + CFG.pipeline_depth
+
+    def test_zero_inputs_free(self):
+        import scipy.sparse as sp
+
+        x = sp.csr_matrix((4, 4), dtype=np.float32)
+        y = sp.csr_matrix((4, 4), dtype=np.float32)
+        cycles, macs = spmm_compute_cycles(x, y, CFG)
+        assert cycles == 0 and macs == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_faithful_matches_fast(self, seed):
+        x = random_sparse(8, 9, 0.3, seed=seed + 20)
+        y = random_sparse(9, 7, 0.25, seed=seed + 40)
+        z_fast, rep = run_spmm(x, y, CFG)
+        z_faith, cycles = run_spmm_faithful(x, y, CFG)
+        np.testing.assert_allclose(z_faith, z_fast, rtol=1e-4, atol=1e-5)
+        assert cycles == rep.compute or rep.compute == 0
+
+    def test_table_iv_expectation_on_uniform(self):
+        """On uniform random operands the exact count tracks the
+        alpha_x * alpha_y * m*n*d expectation within 3x."""
+        m, n, d = 64, 64, 64
+        x = random_sparse(m, n, 0.1, seed=60)
+        y = random_sparse(n, d, 0.1, seed=61)
+        _, macs = spmm_compute_cycles(x, y, CFG)
+        ax = x.nnz / (m * n)
+        ay = y.nnz / (n * d)
+        expect = ax * ay * m * n * d
+        assert expect / 3 <= macs <= expect * 3

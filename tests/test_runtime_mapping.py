@@ -1,0 +1,125 @@
+"""Tests for the Analyzer (Algorithm 7) and the mapping strategies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import u250_default
+from repro.hw.report import Primitive
+from repro.ir.kernel import KernelIR, KernelType
+from repro.runtime.analyzer import Analyzer, PairInfo
+from repro.runtime.perf_model import model_cycles
+from repro.runtime.strategies import (
+    DynamicMapping,
+    FixedMapping,
+    OracleMapping,
+    Static1,
+    Static2,
+    make_strategy,
+)
+
+CFG = u250_default()
+
+
+def info(ax, ay, m=64, n=64, d=64):
+    return PairInfo(alpha_x=ax, alpha_y=ay, m=m, n=n, d=d)
+
+
+def agg_kernel():
+    return KernelIR("agg", 1, KernelType.AGGREGATE, 16, 16, 100, 200,
+                    x_name="A", y_name="H0", out_name="H1")
+
+
+def upd_kernel():
+    return KernelIR("upd", 1, KernelType.UPDATE, 16, 8, 100, 200,
+                    x_name="H0", y_name="W1", out_name="H1")
+
+
+class TestAnalyzer:
+    def test_skip_on_empty(self):
+        an = Analyzer(CFG)
+        assert an.decide(info(0.0, 1.0)).primitive is Primitive.SKIP
+        assert an.decide(info(0.7, 0.0)).primitive is Primitive.SKIP
+
+    def test_gemm_region(self):
+        assert Analyzer(CFG).decide(info(0.6, 0.9)).primitive is Primitive.GEMM
+
+    def test_spdmm_region_and_buffer_placement(self):
+        an = Analyzer(CFG)
+        d1 = an.decide(info(0.01, 0.9))
+        assert d1.primitive is Primitive.SPDMM
+        assert not d1.transposed  # X is sparser -> X in BufferU
+        d2 = an.decide(info(0.9, 0.01))
+        assert d2.primitive is Primitive.SPDMM
+        assert d2.transposed  # Y is sparser -> transposed orientation
+
+    def test_spdmm_tie_keeps_x_in_buffer_u(self):
+        d = Analyzer(CFG).decide(info(0.3, 0.3))
+        assert d.primitive is Primitive.SPDMM
+        assert not d.transposed
+
+    def test_spmm_region(self):
+        d = Analyzer(CFG).decide(info(0.01, 0.05))
+        assert d.primitive is Primitive.SPMM
+        assert not d.transposed
+
+    @given(
+        st.floats(0.001, 1.0, allow_nan=False),
+        st.floats(0.001, 1.0, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_decision_minimises_model(self, ax, ay):
+        """Algorithm 7's choice always has the least Table IV cycles."""
+        chosen = Analyzer(CFG).decide(info(ax, ay)).primitive
+        costs = {
+            p: model_cycles(p, 64, 64, 64, ax, ay, CFG)
+            for p in (Primitive.GEMM, Primitive.SPDMM, Primitive.SPMM)
+        }
+        assert costs[chosen] == pytest.approx(min(costs.values()))
+
+
+class TestStrategies:
+    def test_dynamic_delegates_to_analyzer(self):
+        s = DynamicMapping(CFG)
+        assert s.charges_analysis
+        assert s.decide(agg_kernel(), info(0.0, 1.0)).primitive is Primitive.SKIP
+
+    def test_static1_mapping(self):
+        s = Static1(CFG)
+        assert not s.charges_analysis
+        assert s.decide(agg_kernel(), info(0.0, 1.0)).primitive is Primitive.SPDMM
+        assert s.decide(upd_kernel(), info(0.0, 0.0)).primitive is Primitive.GEMM
+
+    def test_static1_never_skips(self):
+        """S1 cannot exploit empty partitions (that is Dynamic's edge)."""
+        s = Static1(CFG)
+        for k in (agg_kernel(), upd_kernel()):
+            assert s.decide(k, info(0.0, 0.0)).primitive is not Primitive.SKIP
+
+    def test_static2_all_spdmm(self):
+        s = Static2(CFG)
+        for k in (agg_kernel(), upd_kernel()):
+            d = s.decide(k, info(0.9, 0.9))
+            assert d.primitive is Primitive.SPDMM
+            assert not d.transposed  # always left operand sparse
+
+    def test_oracle_matches_dynamic_in_nonzero_region(self):
+        dyn = DynamicMapping(CFG)
+        orc = OracleMapping(CFG)
+        for ax, ay in [(0.9, 0.9), (0.01, 0.9), (0.01, 0.02)]:
+            k = upd_kernel()
+            assert orc.decide(k, info(ax, ay)).primitive is \
+                dyn.decide(k, info(ax, ay)).primitive
+
+    def test_fixed_mapping(self):
+        s = FixedMapping(CFG, Primitive.SPMM)
+        assert s.decide(agg_kernel(), info(1.0, 1.0)).primitive is Primitive.SPMM
+        assert s.name == "Fixed-SPMM"
+
+    def test_make_strategy_lookup(self):
+        assert make_strategy("Dynamic", CFG).name == "Dynamic"
+        assert make_strategy("S1", CFG).name == "S1"
+        assert make_strategy("S2", CFG).name == "S2"
+        assert make_strategy("Oracle", CFG).name == "Oracle"
+        assert make_strategy("Fixed-GEMM", CFG).name == "Fixed-GEMM"
+        with pytest.raises(KeyError):
+            make_strategy("nope", CFG)

@@ -1,0 +1,106 @@
+"""Tests for the Table IV performance model and §VI-A region analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import make_tiny_config
+from repro.config import u250_default
+from repro.hw.report import Primitive
+from repro.runtime.perf_model import (
+    PerformanceModel,
+    argmin_primitive,
+    model_cycles,
+    region_primitive,
+)
+
+CFG = u250_default()
+
+
+class TestTableIV:
+    def test_gemm_formula(self):
+        assert model_cycles(Primitive.GEMM, 32, 64, 16, 1, 1, CFG) == pytest.approx(
+            32 * 64 * 16 / 256
+        )
+
+    def test_spdmm_formula_uses_alpha_min(self):
+        c = model_cycles(Primitive.SPDMM, 10, 10, 10, 0.2, 0.8, CFG)
+        assert c == pytest.approx(0.2 * 2 * 1000 / 256)
+        # symmetric in the operands
+        assert c == model_cycles(Primitive.SPDMM, 10, 10, 10, 0.8, 0.2, CFG)
+
+    def test_spmm_formula_uses_product(self):
+        c = model_cycles(Primitive.SPMM, 10, 10, 10, 0.1, 0.3, CFG)
+        assert c == pytest.approx(0.1 * 0.3 * 1000 / 16)
+
+    def test_skip_is_free(self):
+        assert model_cycles(Primitive.SKIP, 10, 10, 10, 0, 1, CFG) == 0.0
+
+    def test_density_bounds_validated(self):
+        with pytest.raises(ValueError):
+            model_cycles(Primitive.GEMM, 4, 4, 4, -0.1, 0.5, CFG)
+        with pytest.raises(ValueError):
+            model_cycles(Primitive.GEMM, 4, 4, 4, 0.5, 1.1, CFG)
+
+
+class TestRegionRule:
+    def test_dense_region_gemm(self):
+        assert region_primitive(0.9, 0.7, CFG) is Primitive.GEMM
+        assert region_primitive(0.5, 0.5, CFG) is Primitive.GEMM  # boundary
+
+    def test_mixed_region_spdmm(self):
+        assert region_primitive(0.01, 0.9, CFG) is Primitive.SPDMM
+        assert region_primitive(0.3, 0.2, CFG) is Primitive.SPDMM
+
+    def test_sparse_region_spmm(self):
+        thr = 2.0 / CFG.psys
+        assert region_primitive(thr / 2, thr / 2, CFG) is Primitive.SPMM
+        assert region_primitive(0.001, 0.01, CFG) is Primitive.SPMM
+
+    def test_boundary_spdmm_threshold(self):
+        thr = 2.0 / CFG.psys
+        assert region_primitive(0.01, thr, CFG) is Primitive.SPDMM
+        assert region_primitive(0.01, thr - 1e-9, CFG) is Primitive.SPMM
+
+    @given(
+        st.floats(0.001, 1.0, allow_nan=False),
+        st.floats(0.001, 1.0, allow_nan=False),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_region_rule_equals_model_argmin(self, ax, ay):
+        """§VI-A's closed-form regions must coincide with the argmin of the
+        Table IV model (volume cancels, so any m,n,d works).  The
+        degenerate alpha_min = 0 case is handled by Algorithm 7's skip
+        short-cut before the region rule applies."""
+        rule = region_primitive(ax, ay, CFG)
+        brute = argmin_primitive(64, 64, 64, ax, ay, CFG)
+        assert rule is brute
+
+    @given(
+        st.floats(0.0, 1.0, allow_nan=False),
+        st.floats(0.0, 1.0, allow_nan=False),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_regions_tile_domain(self, ax, ay):
+        """Every density pair maps to exactly one of the three modes."""
+        assert region_primitive(ax, ay, CFG) in (
+            Primitive.GEMM, Primitive.SPDMM, Primitive.SPMM
+        )
+
+    def test_region_depends_on_psys(self):
+        small = make_tiny_config()  # psys=4 -> threshold 0.5
+        assert region_primitive(0.05, 0.4, small) is Primitive.SPMM
+        assert region_primitive(0.05, 0.4, CFG) is Primitive.SPDMM
+
+
+class TestPerformanceModelWrapper:
+    def test_crossover_densities(self):
+        pm = PerformanceModel(CFG)
+        x = pm.crossover_densities()
+        assert x["gemm_spdmm_alpha_min"] == 0.5
+        assert x["spdmm_spmm_alpha_max"] == pytest.approx(0.125)
+
+    def test_best_delegates(self):
+        pm = PerformanceModel(CFG)
+        assert pm.best(0.9, 0.9) is Primitive.GEMM
+        assert pm.cycles(Primitive.GEMM, 16, 16, 16, 1, 1) == pytest.approx(16.0)

@@ -1,0 +1,106 @@
+"""Tests for the Algorithm 8 scheduler model and run statistics."""
+
+import numpy as np
+import pytest
+
+from repro.hw.report import Primitive
+from repro.ir.kernel import KernelType
+from repro.runtime.scheduler import CoreTimeline
+from repro.runtime.stats import KernelStats, geomean, total_primitive_counts
+from collections import Counter
+
+
+class TestCoreTimeline:
+    def test_earliest_core_chosen(self):
+        tl = CoreTimeline(3)
+        tl.assign_to(0, 10)
+        tl.assign_to(1, 5)
+        assert tl.peek_next_core() == 2
+        tl.assign_to(2, 20)
+        assert tl.peek_next_core() == 1
+
+    def test_greedy_balancing(self):
+        tl = CoreTimeline(2)
+        for dur in [10, 10, 10, 10]:
+            tl.assign_to(tl.peek_next_core(), dur)
+        assert tl.barrier() == 20
+        assert tl.load_balance() == pytest.approx(1.0)
+
+    def test_barrier_aligns_cores(self):
+        tl = CoreTimeline(2)
+        tl.assign_to(0, 7)
+        span = tl.barrier()
+        assert span == 7
+        np.testing.assert_array_equal(tl.available, [7.0, 7.0])
+        assert tl.now == 7.0
+
+    def test_two_kernels_spans_add(self):
+        tl = CoreTimeline(2)
+        tl.assign_to(0, 4)
+        s1 = tl.barrier()
+        tl.assign_to(1, 6)
+        s2 = tl.barrier()
+        assert (s1, s2) == (4, 6)
+        assert tl.now == 10
+
+    def test_events_recorded(self):
+        tl = CoreTimeline(1)
+        tl.assign_to(0, 3, kernel_id="k", task_index=5)
+        ev = tl.events[0]
+        assert (ev.core, ev.start, ev.end, ev.kernel_id, ev.task_index) == \
+            (0, 0.0, 3.0, "k", 5)
+
+    def test_utilisation(self):
+        tl = CoreTimeline(2)
+        tl.assign_to(0, 10)
+        tl.barrier()
+        assert tl.utilisation() == pytest.approx(0.5)
+
+    def test_imbalance_detected(self):
+        tl = CoreTimeline(2)
+        tl.assign_to(0, 100)
+        tl.assign_to(1, 10)
+        assert tl.load_balance() == pytest.approx(55 / 100)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            CoreTimeline(1).assign_to(0, -1)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError):
+            CoreTimeline(0)
+
+
+def mk_stats(kid="k", counts=None, busy=(1.0, 1.0)):
+    return KernelStats(
+        kernel_id=kid, ktype=KernelType.UPDATE, num_tasks=2, num_pairs=4,
+        cycles=10.0, primitive_counts=Counter(counts or {}), macs=100,
+        bytes_read=10, bytes_written=5, compute_cycles=8.0, memory_cycles=2.0,
+        transform_cycles=0.0, profile_cycles=1.0, out_density=0.5,
+        analysis_seconds=0.0, core_busy=np.array(busy),
+    )
+
+
+class TestStats:
+    def test_total_primitive_counts(self):
+        a = mk_stats(counts={Primitive.GEMM: 2})
+        b = mk_stats(counts={Primitive.GEMM: 1, Primitive.SKIP: 3})
+        total = total_primitive_counts([a, b])
+        assert total[Primitive.GEMM] == 3
+        assert total[Primitive.SKIP] == 3
+
+    def test_skipped_pairs(self):
+        s = mk_stats(counts={Primitive.SKIP: 3})
+        assert s.skipped_pairs == 3
+
+    def test_kernel_load_balance(self):
+        assert mk_stats(busy=(4.0, 2.0)).load_balance() == pytest.approx(0.75)
+        assert mk_stats(busy=(0.0, 0.0)).load_balance() == 1.0
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([5.0]) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])

@@ -1,0 +1,73 @@
+"""Property-based tests on the Algorithm 8 scheduling model.
+
+The paper's dynamic task scheduling is greedy list scheduling (idle core
+takes the next task).  Classic results bound its makespan: for any task
+set, greedy ≤ (2 - 1/m) x OPT, and OPT ≥ max(total/m, longest task).
+These invariants must hold for every schedule the model produces — they
+are what makes the eta * N_CC load-balance constraint of §VI-C
+sufficient in practice.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.scheduler import CoreTimeline
+
+durations = st.lists(st.floats(0.1, 1000.0), min_size=1, max_size=60)
+cores = st.integers(1, 8)
+
+
+def schedule(tasks, m):
+    tl = CoreTimeline(m)
+    for t in tasks:
+        tl.assign_to(tl.peek_next_core(), t)
+    makespan = tl.barrier()
+    return tl, makespan
+
+
+class TestGreedyBounds:
+    @given(durations, cores)
+    @settings(max_examples=150, deadline=None)
+    def test_makespan_at_least_lower_bounds(self, tasks, m):
+        _, makespan = schedule(tasks, m)
+        lower = max(sum(tasks) / m, max(tasks))
+        assert makespan >= lower - 1e-9
+
+    @given(durations, cores)
+    @settings(max_examples=150, deadline=None)
+    def test_graham_bound(self, tasks, m):
+        """Greedy list scheduling is a (2 - 1/m)-approximation."""
+        _, makespan = schedule(tasks, m)
+        opt_lower = max(sum(tasks) / m, max(tasks))
+        assert makespan <= (2 - 1 / m) * opt_lower + 1e-6
+
+    @given(durations, cores)
+    @settings(max_examples=100, deadline=None)
+    def test_work_conserved(self, tasks, m):
+        tl, _ = schedule(tasks, m)
+        np.testing.assert_allclose(float(tl.busy.sum()), sum(tasks), rtol=1e-9)
+
+    @given(durations, cores)
+    @settings(max_examples=100, deadline=None)
+    def test_no_core_idles_while_tasks_wait(self, tasks, m):
+        """Greedy invariant: when a task starts, its core was the
+        earliest-available one, so no other core was idle earlier."""
+        tl = CoreTimeline(m)
+        for t in tasks:
+            core = tl.peek_next_core()
+            earliest = float(tl.available.min())
+            start, _ = tl.assign_to(core, t)
+            assert start == earliest
+
+    @given(durations)
+    @settings(max_examples=50, deadline=None)
+    def test_single_core_serialises(self, tasks):
+        _, makespan = schedule(tasks, 1)
+        np.testing.assert_allclose(makespan, sum(tasks), rtol=1e-9)
+
+    @given(durations, cores)
+    @settings(max_examples=100, deadline=None)
+    def test_load_balance_bounds(self, tasks, m):
+        tl, _ = schedule(tasks, m)
+        assert 0.0 <= tl.load_balance() <= 1.0
+        assert 0.0 <= tl.utilisation() <= 1.0 + 1e-9
