@@ -1,0 +1,119 @@
+"""S1 — serving throughput: pool-size and arrival-rate sweeps.
+
+Drives the :mod:`repro.serve` subsystem with a saturating Poisson stream
+and reports virtual-clock throughput as the accelerator pool grows, plus
+the latency/throughput trade-off as the offered arrival rate rises from
+light load to overload.  The headline claims this bench checks:
+
+- throughput scales near-linearly with pool size on a saturating
+  workload (the earliest-idle dispatcher keeps devices busy);
+- a warm program cache recompiles nothing on a repeated sweep;
+- p95 latency degrades gracefully (queueing) as offered load crosses
+  the pool's service capacity.
+"""
+
+from _common import emit, format_table
+from repro import u250_default
+from repro.serve import InferenceRequest, InferenceServer, synthesize
+
+CFG = u250_default()
+MODELS = ("GCN", "GIN")
+DATASETS = ("CO", "CI")
+NUM_REQUESTS = 160
+MAX_BATCH = 8
+
+
+def _server(pool_size: int) -> InferenceServer:
+    return InferenceServer(
+        CFG,
+        pool_size=pool_size,
+        max_batch_size=MAX_BATCH,
+        max_wait_s=1e-3,
+        return_outputs=False,
+    )
+
+
+def _saturating_rate(pool_size: int) -> float:
+    """Arrival rate offering ~8x the pool's service capacity."""
+    probes = [InferenceRequest(model=m, dataset=d)
+              for m in MODELS for d in DATASETS]
+    return _server(1).saturating_rate(probes, pool_size=pool_size)
+
+
+def _workload(rate_rps: float):
+    return synthesize(
+        NUM_REQUESTS,
+        arrival="poisson",
+        rate_rps=rate_rps,
+        models=MODELS,
+        datasets=DATASETS,
+        seed=17,
+    )
+
+
+def test_pool_scaling(benchmark):
+    """Warm throughput vs pool size on one saturating workload."""
+
+    def sweep():
+        rate = _saturating_rate(pool_size=8)
+        workload = _workload(rate)
+        rows = []
+        for pool in (1, 2, 4, 8):
+            server = _server(pool)
+            server.serve(workload)          # cold: populate the cache
+            warm = server.serve(workload)   # warm: pure pool scaling
+            rows.append((pool, warm))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    base = rows[0][1].throughput_rps
+    table = format_table(
+        ["pool", "throughput (req/s)", "scaling", "p95 (ms)", "util (mean)",
+         "hit rate"],
+        [[pool, f"{r.throughput_rps:,.0f}", f"{r.throughput_rps / base:.2f}x",
+          f"{r.latency_p95_s * 1e3:.3f}",
+          f"{sum(r.device_utilization) / len(r.device_utilization) * 100:.1f}%",
+          f"{r.cache_hit_rate * 100:.0f}%"]
+         for pool, r in rows],
+        title="S1a: serving throughput vs pool size (warm cache, "
+              "saturating Poisson arrivals)",
+    )
+    emit("serving_pool_scaling", table)
+    by_pool = {pool: r for pool, r in rows}
+    assert by_pool[2].throughput_rps >= 1.5 * by_pool[1].throughput_rps
+    assert by_pool[4].throughput_rps >= 2.5 * by_pool[1].throughput_rps
+    assert all(r.cache_misses == 0 for _, r in rows)
+
+
+def test_arrival_rate_sweep(benchmark):
+    """Latency/throughput trade-off as offered load crosses capacity."""
+
+    def sweep():
+        probes = [InferenceRequest(model=m, dataset=d)
+                  for m in MODELS for d in DATASETS]
+        # factor=1.0: an arrival rate of exactly ~1x pool capacity
+        capacity = _server(1).saturating_rate(probes, pool_size=4, factor=1.0)
+        rows = []
+        for load in (0.25, 0.5, 1.0, 2.0, 4.0):
+            server = _server(4)
+            workload = _workload(load * capacity)
+            server.serve(workload)
+            warm = server.serve(workload)
+            rows.append((load, warm))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["offered load", "throughput (req/s)", "p50 (ms)", "p95 (ms)",
+         "queue mean (ms)", "avg batch"],
+        [[f"{load:.2f}x", f"{r.throughput_rps:,.0f}",
+          f"{r.latency_p50_s * 1e3:.3f}", f"{r.latency_p95_s * 1e3:.3f}",
+          f"{r.queue_mean_s * 1e3:.3f}", f"{r.avg_batch_size:.2f}"]
+         for load, r in rows],
+        title="S1b: latency vs offered load (pool of 4, warm cache)",
+    )
+    emit("serving_arrival_sweep", table)
+    light, heavy = rows[0][1], rows[-1][1]
+    # overload must queue: p95 grows, and batching amortizes more per batch
+    assert heavy.latency_p95_s > light.latency_p95_s
+    assert heavy.avg_batch_size >= light.avg_batch_size

@@ -1,10 +1,19 @@
 """Benchmark-suite configuration: make `_common` importable and register
-a session summary that tells the user where the rendered tables went."""
+a session summary that tells the user where the rendered tables went.
+
+The path entry is *appended* (not prepended) so this directory can never
+shadow ``tests/conftest.py`` — pytest puts the configured ``pythonpath``
+entries (``src``, ``tests``) ahead of it.  Plain ``pytest`` only collects
+``tests/`` (see pyproject.toml); the benchmarks run via
+``pytest benchmarks/``.
+"""
 
 import sys
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).parent))
+_here = str(Path(__file__).parent)
+if _here not in sys.path:
+    sys.path.append(_here)
 
 from repro.harness import results_dir  # noqa: E402
 

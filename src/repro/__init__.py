@@ -44,6 +44,12 @@ from repro.runtime import (
     make_strategy,
 )
 from repro.runtime.executor import run_strategy
+from repro.serve import (
+    InferenceRequest,
+    InferenceResponse,
+    InferenceServer,
+    ServingReport,
+)
 
 __version__ = "1.0.0"
 
@@ -67,6 +73,10 @@ __all__ = [
     "Primitive",
     "estimate_resources",
     "InferenceResult",
+    "InferenceRequest",
+    "InferenceResponse",
+    "InferenceServer",
+    "ServingReport",
     "RuntimeSystem",
     "end_to_end_seconds",
     "make_strategy",

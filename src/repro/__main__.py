@@ -6,9 +6,17 @@ Gives downstream users the paper's core experiment without writing code:
     python -m repro compare --model GCN --dataset CI
     python -m repro resources
     python -m repro datasets
+    python -m repro serve-bench --pool 4 --requests 200 --arrival poisson
 
 Latency, primitive histogram and overhead are printed in the paper's
-units; ``compare`` reproduces one cell of Table VII.
+units; ``compare`` reproduces one cell of Table VII.  ``serve-bench``
+drives the :mod:`repro.serve` subsystem: it replays a synthetic request
+stream through the batched multi-accelerator server four times — cold
+then warm (program cache populated) on one device, cold then warm on
+``--pool`` devices — and
+prints each sweep's :class:`~repro.serve.server.ServingReport` —
+throughput, latency percentiles, queueing delay, cache hit rate and
+per-device utilization — plus a scaling/caching summary.
 """
 
 from __future__ import annotations
@@ -17,19 +25,19 @@ import argparse
 import sys
 
 from repro import (
-    Accelerator,
     Compiler,
-    RuntimeSystem,
     build_model,
     estimate_resources,
     init_weights,
     load_dataset,
     make_strategy,
+    run_strategy,
     u250_default,
 )
 from repro.datasets import DATASET_NAMES, TABLE_VI
 from repro.gnn import MODEL_NAMES, prune_weights
 from repro.harness import format_table, sci, speedup_fmt
+from repro.serve import ARRIVAL_KINDS, InferenceRequest, InferenceServer, synthesize
 
 
 def _build(args):
@@ -45,10 +53,7 @@ def _build(args):
 
 def cmd_run(args) -> int:
     data, model, program = _build(args)
-    acc = Accelerator(program.config)
-    result = RuntimeSystem(acc, make_strategy(args.strategy, acc.config)).run(
-        program
-    )
+    result = run_strategy(program, args.strategy)
     print(f"{model.name} on {data.name} (scale {data.scale}), "
           f"strategy {args.strategy}:")
     print(f"  latency           : {sci(result.latency_ms)} ms")
@@ -63,12 +68,9 @@ def cmd_run(args) -> int:
 
 def cmd_compare(args) -> int:
     data, model, program = _build(args)
-    results = {}
-    for strat in ("S1", "S2", "Dynamic"):
-        acc = Accelerator(program.config)
-        results[strat] = RuntimeSystem(
-            acc, make_strategy(strat, acc.config)
-        ).run(program)
+    results = {
+        strat: run_strategy(program, strat) for strat in ("S1", "S2", "Dynamic")
+    }
     dyn = results["Dynamic"]
     rows = [
         [s, sci(results[s].latency_ms),
@@ -79,6 +81,114 @@ def cmd_compare(args) -> int:
         ["strategy", "latency (ms)", "vs Dynamic"],
         rows, title=f"{model.name} on {data.name} (Table VII cell)",
     ))
+    return 0
+
+
+def cmd_serve_bench(args) -> int:
+    config = u250_default()
+    models = [m.strip() for m in args.models.split(",") if m.strip()]
+    datasets = [d.strip() for d in args.datasets.split(",") if d.strip()]
+    if args.pool < 1:
+        raise SystemExit("serve-bench: --pool must be >= 1")
+    if not models or any(m not in MODEL_NAMES for m in models):
+        raise SystemExit(
+            f"serve-bench: --models must be a comma-separated subset of "
+            f"{MODEL_NAMES}, got {args.models!r}"
+        )
+    if not datasets or any(d not in DATASET_NAMES for d in datasets):
+        raise SystemExit(
+            f"serve-bench: --datasets must be a comma-separated subset of "
+            f"{DATASET_NAMES}, got {args.datasets!r}"
+        )
+    if args.rate is not None and args.rate <= 0:
+        raise SystemExit("serve-bench: --rate must be positive")
+    if args.max_batch < 1:
+        raise SystemExit("serve-bench: --max-batch must be >= 1")
+    if args.cache < 1:
+        raise SystemExit("serve-bench: --cache must be >= 1")
+    if args.max_wait_ms < 0:
+        raise SystemExit("serve-bench: --max-wait-ms must be >= 0")
+    if args.requests < 1:
+        raise SystemExit("serve-bench: --requests must be >= 1")
+    if not 0.0 <= args.prune <= 1.0:
+        raise SystemExit("serve-bench: --prune must be in [0, 1]")
+    if args.skew < 0:
+        raise SystemExit("serve-bench: --skew must be >= 0")
+    if args.scale is not None and not 0.0 < args.scale <= 1.0:
+        raise SystemExit("serve-bench: --scale must be in (0, 1]")
+    try:
+        make_strategy(args.strategy, config)
+    except (ValueError, KeyError) as exc:
+        raise SystemExit(f"serve-bench: invalid --strategy: {exc}")
+    max_wait_s = args.max_wait_ms * 1e-3
+
+    def new_server(pool_size: int) -> InferenceServer:
+        return InferenceServer(
+            config,
+            pool_size=pool_size,
+            cache_capacity=args.cache,
+            max_batch_size=args.max_batch,
+            max_wait_s=max_wait_s,
+            return_outputs=False,
+        )
+
+    rate = args.rate
+    if rate is None:
+        # calibrate the arrival rate to a multiple of the pool's service
+        # capacity so the scaling comparison runs against a saturating
+        # workload
+        factor = 8.0
+        probe = new_server(1)
+        probes = [
+            InferenceRequest(
+                model=m, dataset=d, strategy=args.strategy,
+                prune=args.prune, scale=args.scale, seed=args.seed,
+            )
+            for m in models for d in datasets
+        ]
+        rate = probe.saturating_rate(probes, pool_size=args.pool,
+                                     factor=factor)
+        print(f"calibrated arrival rate: {rate:,.0f} req/s "
+              f"(~{factor:.0f}x the {args.pool}-device pool's service "
+              f"capacity)")
+
+    workload = synthesize(
+        args.requests,
+        arrival=args.arrival,
+        rate_rps=rate,
+        models=models,
+        datasets=datasets,
+        strategies=(args.strategy,),
+        prune_levels=(args.prune,),
+        scale=args.scale,
+        skew=args.skew,
+        seed=args.seed,
+    )
+
+    baseline_server = new_server(1)
+    baseline = baseline_server.serve(workload)
+    print(f"\n== cold sweep, pool size 1 ==\n{baseline.format_report()}")
+    baseline_warm = baseline_server.serve(workload)
+    print(f"\n== warm sweep, pool size 1 ==\n{baseline_warm.format_report()}")
+    server = new_server(args.pool)
+    cold = server.serve(workload)
+    print(f"\n== cold sweep, pool size {args.pool} ==\n{cold.format_report()}")
+    warm = server.serve(workload)
+    print(f"\n== warm sweep, pool size {args.pool} ==\n{warm.format_report()}")
+
+    # warm-vs-warm isolates pool scaling from one-time compile charges
+    scaling = (
+        warm.throughput_rps / baseline_warm.throughput_rps
+        if baseline_warm.throughput_rps else 0.0
+    )
+    print("\nsummary:")
+    print(f"  throughput scaling : {scaling:.2f}x with {args.pool} devices "
+          f"(ideal {args.pool:.2f}x, warm cache)")
+    print(f"  warm cache         : {warm.cache_misses} recompiles, hit rate "
+          f"{warm.cache_hit_rate * 100:.1f}%, "
+          f"compile time saved {warm.compile_saved_s * 1e3:.1f} ms")
+    print(f"  warm vs cold p50   : {cold.latency_p50_s * 1e3:.3f} ms -> "
+          f"{warm.latency_p50_s * 1e3:.3f} ms")
     return 0
 
 
@@ -125,6 +235,34 @@ def main(argv=None) -> int:
     p_cmp = sub.add_parser("compare", help="S1 vs S2 vs Dynamic")
     common(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_srv = sub.add_parser(
+        "serve-bench",
+        help="replay synthetic traffic through the repro.serve subsystem",
+    )
+    p_srv.add_argument("--pool", type=int, default=4,
+                       help="number of simulated devices in the pool")
+    p_srv.add_argument("--requests", type=int, default=200)
+    p_srv.add_argument("--arrival", choices=ARRIVAL_KINDS, default="poisson")
+    p_srv.add_argument("--rate", type=float, default=None,
+                       help="mean arrival rate in req/s of virtual time "
+                            "(default: calibrated to saturate the pool)")
+    p_srv.add_argument("--models", default="GCN,GIN",
+                       help="comma-separated model mix")
+    p_srv.add_argument("--datasets", default="CO,CI",
+                       help="comma-separated dataset mix")
+    p_srv.add_argument("--strategy", default="Dynamic")
+    p_srv.add_argument("--prune", type=float, default=0.0)
+    p_srv.add_argument("--scale", type=float, default=None)
+    p_srv.add_argument("--skew", type=float, default=0.0,
+                       help="Zipf skew of the model/dataset popularity")
+    p_srv.add_argument("--max-batch", type=int, default=8)
+    p_srv.add_argument("--max-wait-ms", type=float, default=1.0,
+                       help="micro-batching window in virtual milliseconds")
+    p_srv.add_argument("--cache", type=int, default=64,
+                       help="program-cache capacity")
+    p_srv.add_argument("--seed", type=int, default=0)
+    p_srv.set_defaults(func=cmd_serve_bench)
 
     p_res = sub.add_parser("resources", help="Fig. 9 resource table")
     p_res.set_defaults(func=cmd_resources)

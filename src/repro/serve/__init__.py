@@ -1,0 +1,55 @@
+"""Batched multi-accelerator inference serving (`repro.serve`).
+
+Turns the one-shot Dynasparse simulator into a traffic-serving system:
+
+- :mod:`repro.serve.request` — request/response dataclasses and program
+  fingerprints;
+- :mod:`repro.serve.cache` — LRU cache of compiled programs;
+- :mod:`repro.serve.batcher` — micro-batching of compatible requests;
+- :mod:`repro.serve.pool` — N simulated devices, earliest-idle dispatch;
+- :mod:`repro.serve.workload` — Poisson / bursty / steady traffic
+  generators with skewed model/dataset mixes;
+- :mod:`repro.serve.server` — the orchestrator and
+  :class:`~repro.serve.server.ServingReport`.
+
+Quickstart::
+
+    from repro.serve import InferenceServer, synthesize
+
+    server = InferenceServer(pool_size=4, max_batch_size=8)
+    requests = synthesize(200, arrival="poisson", rate_rps=5e4,
+                          models=("GCN", "GIN"), datasets=("CO", "CI"))
+    report = server.serve(requests)
+    print(report.format_report())
+"""
+
+from repro.serve.batcher import MicroBatch, MicroBatcher
+from repro.serve.cache import CacheStats, ProgramCache
+from repro.serve.pool import AcceleratorPool, DispatchEvent
+from repro.serve.request import InferenceRequest, InferenceResponse
+from repro.serve.server import InferenceServer, ServingReport
+from repro.serve.workload import (
+    ARRIVAL_KINDS,
+    bursty_arrivals,
+    poisson_arrivals,
+    steady_arrivals,
+    synthesize,
+)
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "AcceleratorPool",
+    "CacheStats",
+    "DispatchEvent",
+    "InferenceRequest",
+    "InferenceResponse",
+    "InferenceServer",
+    "MicroBatch",
+    "MicroBatcher",
+    "ProgramCache",
+    "ServingReport",
+    "bursty_arrivals",
+    "poisson_arrivals",
+    "steady_arrivals",
+    "synthesize",
+]

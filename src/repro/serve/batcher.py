@@ -1,0 +1,119 @@
+"""Micro-batching queue: group compatible requests before dispatch.
+
+Requests sharing a ``batch_key`` (same compiled program *and* mapping
+strategy) produce identical accelerator runs, so the server executes each
+batch once: one PCIe input transfer, one K2P analysis pass, one set of
+kernel launches — amortized over every request in the batch.
+
+The batcher trades latency for that amortization with two knobs, the same
+ones production inference servers expose:
+
+``max_batch_size``
+    a group is dispatched the moment it reaches this many requests;
+
+``max_wait_s``
+    a group is dispatched once its *oldest* request has waited this long
+    (virtual seconds), so a lone request is never starved waiting for
+    company that may not come.
+
+The batcher is clock-agnostic: callers pass ``now`` explicitly and poll
+:meth:`MicroBatcher.due`, which keeps it trivially testable and lets the
+server drive it from the virtual event loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.serve.request import InferenceRequest
+
+_batch_ids = itertools.count()
+
+
+@dataclass
+class MicroBatch:
+    """A dispatch group of requests sharing one (program, strategy)."""
+
+    key: tuple
+    requests: list[InferenceRequest]
+    #: arrival of the oldest request (when the group was opened)
+    opened_s: float
+    #: earliest time the batch may start (compile of its miss request done)
+    ready_s: float
+    batch_id: int = field(default_factory=lambda: next(_batch_ids))
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+
+class MicroBatcher:
+    """Time-and-size triggered batching queue, one group per batch key."""
+
+    def __init__(self, max_batch_size: int = 8, max_wait_s: float = 1e-3) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self._groups: dict[tuple, MicroBatch] = {}
+
+    @property
+    def pending(self) -> int:
+        """Number of requests currently waiting in open groups."""
+        return sum(g.size for g in self._groups.values())
+
+    def add(
+        self, request: InferenceRequest, key: tuple, *, ready_s: float | None = None
+    ) -> MicroBatch | None:
+        """Queue a request; returns the group if it just filled up.
+
+        ``ready_s`` is the time the request's program becomes available
+        (arrival + compile charge on a cache miss); the group can start no
+        earlier than the latest ready time of its members.
+        """
+        if ready_s is None:
+            ready_s = request.arrival_s
+        group = self._groups.get(key)
+        if group is None:
+            group = MicroBatch(
+                key=key, requests=[], opened_s=request.arrival_s, ready_s=ready_s
+            )
+            self._groups[key] = group
+        group.requests.append(request)
+        group.ready_s = max(group.ready_s, ready_s)
+        if group.size >= self.max_batch_size:
+            del self._groups[key]
+            return group
+        return None
+
+    def deadline(self, group: MicroBatch) -> float:
+        """Latest virtual time the group may keep waiting."""
+        return group.opened_s + self.max_wait_s
+
+    def due(self, now: float) -> list[MicroBatch]:
+        """Pop every group whose deadline is strictly before ``now``.
+
+        Strict comparison so ``max_wait_s=0`` still batches requests
+        arriving at the same instant (a deadline *at* ``now`` lets a
+        same-key arrival at ``now`` join the group first).
+        """
+        ready = [g for g in self._groups.values() if self.deadline(g) < now]
+        for g in ready:
+            del self._groups[g.key]
+        ready.sort(key=lambda g: self.deadline(g))
+        return ready
+
+    def next_deadline(self) -> float | None:
+        """Earliest pending timeout, or None when the queue is empty."""
+        if not self._groups:
+            return None
+        return min(self.deadline(g) for g in self._groups.values())
+
+    def drain(self) -> list[MicroBatch]:
+        """Pop all remaining groups (end of the request stream)."""
+        groups = sorted(self._groups.values(), key=lambda g: self.deadline(g))
+        self._groups.clear()
+        return groups

@@ -1,0 +1,177 @@
+"""Request/response types for the serving subsystem.
+
+An :class:`InferenceRequest` describes one unit of traffic: which model to
+run on which graph, under which mapping strategy, and *when* it arrives
+(virtual seconds).  Requests referencing the same compiled program are
+interchangeable up to their arrival time, which is what lets the server
+cache compilation (:mod:`repro.serve.cache`) and micro-batch execution
+(:mod:`repro.serve.batcher`).
+
+Two fingerprints are derived from a request:
+
+``program_key``
+    identifies the :class:`~repro.compiler.compile.CompiledProgram` the
+    request needs — (model, dataset identity, scale, seed, prune,
+    accelerator config).  Requests sharing it skip ``Compiler.compile``.
+
+``batch_key``
+    ``program_key`` plus the mapping strategy: requests sharing it produce
+    bit-identical runs, so one accelerator pass serves the whole batch and
+    the K2P analysis + PCIe transfer are paid once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.config import AcceleratorConfig
+from repro.datasets.catalog import GraphData
+
+_request_ids = itertools.count()
+
+
+@lru_cache(maxsize=32)
+def config_fingerprint(config: AcceleratorConfig) -> str:
+    """Stable identity of an accelerator configuration.
+
+    ``AcceleratorConfig`` is a frozen dataclass tree of scalars, so its
+    ``repr`` enumerates every architectural parameter deterministically.
+    Cached per config instance — the fingerprint is rebuilt for every
+    request key, and a server's config never changes.
+    """
+    return repr(config)
+
+
+def _graph_content_digest(data: GraphData) -> str:
+    """Content hash of an inline graph (adjacency + features).
+
+    Metadata alone (dims, nnz) cannot distinguish two hand-built graphs
+    with equal shapes but different values, which would silently share
+    cached programs.  The digest is memoized on the object, keyed by the
+    identities of its ``a``/``h0`` matrices so rebinding either one
+    invalidates it.  *In-place* mutation of the underlying arrays is not
+    detected — treat a ``GraphData`` as frozen once it has been served.
+    """
+    cached = getattr(data, "_serve_content_digest", None)
+    if cached is not None and cached[:2] == (id(data.a), id(data.h0)):
+        return cached[2]
+    h = hashlib.sha1()
+    a = data.a.tocsr()
+    for arr in (a.indptr, a.indices, a.data):
+        h.update(np.ascontiguousarray(arr).tobytes())
+    h0 = data.h0
+    if sp.issparse(h0):
+        h0 = h0.tocsr()
+        for arr in (h0.indptr, h0.indices, h0.data):
+            h.update(np.ascontiguousarray(arr).tobytes())
+    else:
+        h.update(np.ascontiguousarray(h0).tobytes())
+    digest = h.hexdigest()
+    data._serve_content_digest = (id(data.a), id(data.h0), digest)
+    return digest
+
+
+def _dataset_fingerprint(dataset: Union[str, GraphData]) -> tuple:
+    """Identity of the graph a request runs on.
+
+    Named datasets are regenerated deterministically from (name, scale,
+    seed), so those fields identify them.  Inline ``GraphData`` is keyed
+    by an actual content digest, so equal graphs share programs and
+    unequal ones never collide.
+    """
+    if isinstance(dataset, GraphData):
+        return (
+            dataset.name,
+            float(dataset.scale),
+            int(dataset.seed),
+            _graph_content_digest(dataset),
+        )
+    return (str(dataset),)
+
+
+@dataclass
+class InferenceRequest:
+    """One inference query entering the server."""
+
+    model: str
+    #: catalog key ("CO", "CI", ...) or an inline, already-loaded graph
+    dataset: Union[str, GraphData]
+    strategy: str = "Dynamic"
+    #: weight sparsity in [0, 1] applied before compilation
+    prune: float = 0.0
+    #: dataset generation scale (None -> the catalog default)
+    scale: Optional[float] = None
+    #: weight/dataset generation seed
+    seed: int = 0
+    #: arrival time on the virtual clock, in seconds
+    arrival_s: float = 0.0
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    def program_key(self, config: AcceleratorConfig) -> tuple:
+        """Fingerprint of the compiled program this request needs."""
+        return (
+            self.model,
+            _dataset_fingerprint(self.dataset),
+            None if self.scale is None else float(self.scale),
+            int(self.seed),
+            float(self.prune),
+            config_fingerprint(config),
+        )
+
+    def batch_key(self, config: AcceleratorConfig) -> tuple:
+        """Fingerprint of the (program, strategy) execution this request
+        can share with others in one micro-batch."""
+        return self.program_key(config) + (self.strategy,)
+
+    @property
+    def dataset_name(self) -> str:
+        return self.dataset.name if isinstance(self.dataset, GraphData) else self.dataset
+
+
+@dataclass
+class InferenceResponse:
+    """The server's answer to one request, with a full latency breakdown.
+
+    All times are virtual-clock seconds.  ``latency_s`` is what the client
+    experiences: queueing + (exposed) compile + batching wait + service.
+    """
+
+    request_id: int
+    model: str
+    dataset: str
+    strategy: str
+    arrival_s: float
+    #: compile time charged to this request (0.0 on a program-cache hit)
+    compile_s: float
+    #: when the batch containing this request started on a device
+    start_s: float
+    #: when that batch finished
+    finish_s: float
+    #: device-occupancy of the batch (PCIe + accelerator execution)
+    service_s: float
+    cache_hit: bool
+    batch_id: int
+    batch_size: int
+    device: int
+    accel_cycles: float
+    #: model output — a read-only ndarray shared by every response served
+    #: from the same (program, strategy); copy before mutating.  None when
+    #: the server runs with ``return_outputs=False``
+    output: Optional[np.ndarray] = None
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency the client observes."""
+        return self.finish_s - self.arrival_s
+
+    @property
+    def queue_s(self) -> float:
+        """Time between arrival and the batch starting on a device."""
+        return self.start_s - self.arrival_s

@@ -1,0 +1,356 @@
+"""Tests for the serving subsystem (`repro.serve`).
+
+Covers the four pillars of the server: program-cache fingerprinting and
+LRU behaviour, micro-batch grouping and timeout flushing, multi-device
+throughput scaling, and functional exactness of served outputs against
+the NumPy reference model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import make_tiny_config
+
+from repro.datasets import load_dataset
+from repro.gnn import build_model, init_weights, reference_inference
+from repro.serve import (
+    AcceleratorPool,
+    InferenceRequest,
+    InferenceServer,
+    MicroBatcher,
+    ProgramCache,
+    bursty_arrivals,
+    poisson_arrivals,
+    steady_arrivals,
+    synthesize,
+)
+
+SCALE = 0.15
+
+
+def tiny_request(**overrides) -> InferenceRequest:
+    base = dict(model="GCN", dataset="CO", scale=SCALE, seed=3)
+    base.update(overrides)
+    return InferenceRequest(**base)
+
+
+def tiny_server(**overrides) -> InferenceServer:
+    base = dict(config=make_tiny_config(), pool_size=1, max_batch_size=4,
+                max_wait_s=1e-3)
+    base.update(overrides)
+    return InferenceServer(**base)
+
+
+class TestFingerprinting:
+    def test_identical_requests_share_a_program_key(self):
+        cfg = make_tiny_config()
+        assert tiny_request().program_key(cfg) == tiny_request().program_key(cfg)
+
+    @pytest.mark.parametrize("override", [
+        {"model": "GIN"},
+        {"dataset": "CI"},
+        {"scale": 0.2},
+        {"seed": 4},
+        {"prune": 0.5},
+    ])
+    def test_differing_requests_get_distinct_keys(self, override):
+        cfg = make_tiny_config()
+        assert tiny_request().program_key(cfg) != \
+            tiny_request(**override).program_key(cfg)
+
+    def test_config_is_part_of_the_key(self):
+        r = tiny_request()
+        assert r.program_key(make_tiny_config()) != \
+            r.program_key(make_tiny_config(num_cores=1))
+
+    def test_strategy_changes_batch_key_but_not_program_key(self):
+        cfg = make_tiny_config()
+        a, b = tiny_request(), tiny_request(strategy="S1")
+        assert a.program_key(cfg) == b.program_key(cfg)
+        assert a.batch_key(cfg) != b.batch_key(cfg)
+
+    def test_inline_graphdata_fingerprint_matches_catalog(self):
+        cfg = make_tiny_config()
+        data = load_dataset("CO", scale=SCALE, seed=3)
+        named = tiny_request()
+        # inline data keys on content identity, not object identity
+        inline1 = tiny_request(dataset=data)
+        inline2 = tiny_request(dataset=load_dataset("CO", scale=SCALE, seed=3))
+        assert inline1.program_key(cfg) == inline2.program_key(cfg)
+        assert inline1.program_key(cfg) != named.program_key(cfg)
+
+    def test_inline_graphs_with_different_content_do_not_collide(self):
+        # equal metadata (name/scale/seed/dims/nnz) but different values
+        # must not share a program key
+        cfg = make_tiny_config()
+        d1 = load_dataset("CO", scale=SCALE, seed=3)
+        d2 = load_dataset("CO", scale=SCALE, seed=3)
+        d2.h0 = d2.h0.copy()
+        d2.h0.data[0] += 1.0
+        assert tiny_request(dataset=d1).program_key(cfg) != \
+            tiny_request(dataset=d2).program_key(cfg)
+
+    def test_rebinding_graph_matrices_invalidates_the_digest(self):
+        cfg = make_tiny_config()
+        data = load_dataset("CO", scale=SCALE, seed=3)
+        before = tiny_request(dataset=data).program_key(cfg)
+        h0 = data.h0.copy()
+        h0.data[:] *= 3.0
+        data.h0 = h0
+        assert tiny_request(dataset=data).program_key(cfg) != before
+
+
+class TestProgramCache:
+    def test_hit_miss_counters(self):
+        cache = ProgramCache(capacity=4)
+        calls = []
+
+        def compile_fn():
+            calls.append(1)
+            return _compile_tiny()
+
+        key = tiny_request().program_key(make_tiny_config())
+        _, charge1, hit1 = cache.get_or_compile(key, compile_fn)
+        _, charge2, hit2 = cache.get_or_compile(key, compile_fn)
+        assert (hit1, hit2) == (False, True)
+        assert len(calls) == 1
+        assert charge1 > 0.0 and charge2 == 0.0
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 2 - 1)
+        assert stats.hit_rate == 0.5
+        assert stats.saved_s > 0.0
+
+    def test_lru_eviction_order(self):
+        cache = ProgramCache(capacity=2)
+        program = _compile_tiny()
+        cache.put(("a",), program)
+        cache.put(("b",), program)
+        assert cache.get(("a",)) is program  # refresh "a": "b" is now LRU
+        cache.put(("c",), program)
+        assert ("b",) not in cache
+        assert ("a",) in cache and ("c",) in cache
+        assert cache.evictions == 1
+
+
+def _compile_tiny():
+    data = load_dataset("CO", scale=SCALE, seed=3)
+    model = build_model("GCN", data.num_features, data.hidden_dim,
+                        data.num_classes)
+    from repro.compiler import Compiler
+    return Compiler(make_tiny_config()).compile(model, data,
+                                                init_weights(model, seed=3))
+
+
+class TestMicroBatcher:
+    def test_groups_by_key_and_flushes_at_max_size(self):
+        b = MicroBatcher(max_batch_size=2, max_wait_s=1.0)
+        r1, r2, r3 = (tiny_request(arrival_s=t) for t in (0.0, 0.1, 0.2))
+        assert b.add(r1, ("k1",)) is None
+        assert b.add(r3, ("k2",)) is None
+        full = b.add(r2, ("k1",))
+        assert full is not None and full.size == 2
+        assert [r.request_id for r in full.requests] == \
+            [r1.request_id, r2.request_id]
+        assert b.pending == 1  # k2 still open
+
+    def test_max_wait_flushes_the_oldest_group(self):
+        b = MicroBatcher(max_batch_size=8, max_wait_s=0.5)
+        b.add(tiny_request(arrival_s=0.0), ("k1",))
+        b.add(tiny_request(arrival_s=0.3), ("k2",))
+        assert b.due(now=0.4) == []
+        assert b.next_deadline() == pytest.approx(0.5)
+        due = b.due(now=0.6)
+        assert [g.key for g in due] == [("k1",)]
+        assert b.pending == 1
+
+    def test_ready_time_tracks_slowest_member(self):
+        b = MicroBatcher(max_batch_size=2, max_wait_s=1.0)
+        b.add(tiny_request(arrival_s=0.0), ("k",), ready_s=0.7)
+        full = b.add(tiny_request(arrival_s=0.1), ("k",), ready_s=0.1)
+        assert full.ready_s == pytest.approx(0.7)
+
+    def test_zero_wait_still_batches_simultaneous_arrivals(self):
+        b = MicroBatcher(max_batch_size=4, max_wait_s=0.0)
+        b.add(tiny_request(arrival_s=1.0), ("k",))
+        assert b.due(now=1.0) == []      # same instant: group stays open
+        b.add(tiny_request(arrival_s=1.0), ("k",))
+        (flushed,) = b.due(now=1.1)
+        assert flushed.size == 2
+
+    def test_drain_empties_the_queue(self):
+        b = MicroBatcher(max_batch_size=8, max_wait_s=1.0)
+        b.add(tiny_request(arrival_s=0.0), ("k1",))
+        b.add(tiny_request(arrival_s=0.1), ("k2",))
+        assert {g.key for g in b.drain()} == {("k1",), ("k2",)}
+        assert b.pending == 0
+
+
+class TestAcceleratorPool:
+    def test_earliest_idle_dispatch(self):
+        pool = AcceleratorPool(make_tiny_config(), num_devices=2)
+        assert pool.submit(2.0, 0.0)[0] == 0
+        assert pool.submit(1.0, 0.0)[0] == 1
+        # device 1 frees at t=1, so it gets the next batch
+        device, start, end = pool.submit(1.0, 0.0)
+        assert (device, start, end) == (1, 1.0, 2.0)
+        assert pool.makespan_s == pytest.approx(2.0)
+        assert pool.load_balance() == pytest.approx(1.0)
+
+    def test_ready_time_defers_start(self):
+        pool = AcceleratorPool(make_tiny_config(), num_devices=1)
+        _, start, end = pool.submit(1.0, ready_s=5.0)
+        assert (start, end) == (5.0, 6.0)
+        util = pool.utilization()
+        assert util[0] == pytest.approx(1.0 / 6.0)
+
+
+class TestWorkload:
+    def test_arrival_processes(self):
+        p = poisson_arrivals(100, rate_rps=1000.0, seed=1)
+        assert p.shape == (100,) and np.all(np.diff(p) >= 0) and p[0] > 0
+        s = steady_arrivals(10, rate_rps=100.0)
+        assert np.allclose(np.diff(s), 0.01)
+        b = bursty_arrivals(64, rate_rps=1000.0, seed=1, burst_size=8)
+        assert np.all(np.diff(b) >= 0)
+        # mean rate is preserved within a factor ~2
+        assert 0.5 < b[-1] / (64 / 1000.0) < 2.0
+
+    def test_synthesize_is_deterministic(self):
+        kw = dict(arrival="poisson", rate_rps=500.0, models=("GCN", "GIN"),
+                  datasets=("CO", "CI"), skew=1.1, seed=9)
+        a = synthesize(50, **kw)
+        b = synthesize(50, **kw)
+        assert [(r.model, r.dataset, r.arrival_s) for r in a] == \
+            [(r.model, r.dataset, r.arrival_s) for r in b]
+        assert {r.model for r in a} <= {"GCN", "GIN"}
+
+
+class TestInferenceServer:
+    def _burst(self, n, **overrides):
+        """n identical requests all arriving at t=0 (saturating)."""
+        return [tiny_request(arrival_s=0.0, **overrides) for _ in range(n)]
+
+    def test_cache_hit_on_second_sweep(self):
+        server = tiny_server()
+        workload = self._burst(6)
+        cold = server.serve(workload)
+        assert cold.cache_misses == 1 and cold.cache_hits == 5
+        warm = server.serve(workload)
+        assert warm.cache_misses == 0 and warm.cache_hits == 6
+        assert warm.compile_s == 0.0
+        assert warm.cache_hit_rate == 1.0
+
+    def test_cache_hit_waits_for_inflight_compile(self):
+        # a hit on a program whose miss is still compiling cannot start
+        # executing before that compile finishes on the virtual clock
+        server = tiny_server(pool_size=2, max_batch_size=1)
+        r1, r2 = tiny_request(arrival_s=0.0), tiny_request(arrival_s=0.0)
+        report = server.serve([r1, r2])
+        by_id = {r.request_id: r for r in report.responses}
+        compile_s = by_id[r1.request_id].compile_s
+        assert compile_s > 0.0
+        assert by_id[r2.request_id].compile_s == 0.0
+        assert by_id[r2.request_id].start_s >= compile_s
+
+    def test_ready_batch_not_blocked_by_inflight_compile(self):
+        # a batch waiting on a compile must not hold an idle device
+        # hostage: later-flushed but earlier-ready work runs first
+        server = tiny_server(pool_size=1, max_batch_size=1)
+        server.serve([tiny_request(model="GIN", arrival_s=0.0)])  # cache GIN
+        x = tiny_request(arrival_s=0.0)                 # GCN: cache miss
+        y = tiny_request(model="GIN", arrival_s=1e-6)   # hit, ready at once
+        report = server.serve([x, y])
+        by_id = {r.request_id: r for r in report.responses}
+        assert by_id[x.request_id].compile_s > 0.0
+        assert by_id[y.request_id].start_s < by_id[x.request_id].compile_s
+
+    def test_batching_amortizes_batches(self):
+        report = tiny_server(max_batch_size=4).serve(self._burst(8))
+        assert report.num_batches == 2
+        assert report.avg_batch_size == pytest.approx(4.0)
+
+    def test_max_wait_splits_distant_arrivals(self):
+        server = tiny_server(max_batch_size=8, max_wait_s=1e-3)
+        workload = [tiny_request(arrival_s=0.0), tiny_request(arrival_s=1.0)]
+        report = server.serve(workload)
+        assert report.num_batches == 2
+
+    def test_pool_scaling_on_saturating_workload(self):
+        workload = self._burst(12)
+        reports = {}
+        for pool in (1, 2):
+            server = tiny_server(pool_size=pool, max_batch_size=2)
+            server.serve(workload)           # cold sweep populates caches
+            reports[pool] = server.serve(workload)
+        t1 = reports[1].throughput_rps
+        t2 = reports[2].throughput_rps
+        assert t2 >= 1.8 * t1, f"2 devices gave only {t2 / t1:.2f}x"
+        assert len(reports[2].device_utilization) == 2
+        assert all(u > 0 for u in reports[2].device_utilization)
+
+    def test_served_output_matches_reference(self):
+        request = tiny_request()
+        report = tiny_server().serve([request])
+        (resp,) = report.responses
+        data = load_dataset("CO", scale=SCALE, seed=request.seed)
+        model = build_model("GCN", data.num_features, data.hidden_dim,
+                            data.num_classes)
+        weights = init_weights(model, seed=request.seed)
+        ref = reference_inference(model, data.a, data.h0, weights)
+        np.testing.assert_allclose(resp.output, ref, rtol=1e-3, atol=1e-5)
+
+    def test_estimate_service_does_not_warm_the_cache(self):
+        server = tiny_server()
+        server.estimate_service_s(tiny_request())
+        report = server.serve([tiny_request(arrival_s=0.0)])
+        assert report.cache_misses == 1  # first sweep is still cold
+
+    def test_trailing_batch_flushes_at_end_of_stream(self):
+        # once the stream ends no arrival can join, so the last partial
+        # batch must not idle out its max_wait window
+        server = tiny_server(max_batch_size=8, max_wait_s=1.0)
+        workload = [tiny_request(arrival_s=0.0), tiny_request(arrival_s=0.5)]
+        server.serve(workload)                  # warm: no compile noise
+        report = server.serve(workload)
+        assert report.num_batches == 1
+        (resp, _) = report.responses
+        assert resp.start_s == pytest.approx(0.5)  # not opened_s + 1.0
+
+    def test_response_accounting(self):
+        server = tiny_server(max_batch_size=2)
+        report = server.serve(self._burst(4))
+        assert report.num_requests == 4
+        for resp in report.responses:
+            assert resp.finish_s >= resp.start_s >= resp.arrival_s
+            assert resp.latency_s >= resp.service_s > 0
+            assert resp.batch_size == 2
+        assert report.throughput_rps > 0
+        assert report.latency_p99_s >= report.latency_p50_s > 0
+
+    def test_mixed_models_get_separate_batches(self):
+        server = tiny_server(max_batch_size=8)
+        workload = [tiny_request(arrival_s=0.0),
+                    tiny_request(arrival_s=0.0, model="GIN")]
+        report = server.serve(workload)
+        assert report.num_batches == 2
+        assert report.cache_misses == 2
+
+    def test_outputs_are_read_only(self):
+        # responses share one memoized array; in-place mutation must
+        # raise rather than corrupt later sweeps' outputs
+        report = tiny_server().serve(self._burst(2))
+        resp = report.responses[0]
+        with pytest.raises(ValueError):
+            resp.output[0, 0] = 1.0
+
+    def test_outputs_can_be_dropped(self):
+        server = tiny_server(return_outputs=False)
+        report = server.serve(self._burst(2))
+        assert all(r.output is None for r in report.responses)
+
+    def test_format_report_mentions_key_metrics(self):
+        text = tiny_server().serve(self._burst(3)).format_report()
+        for needle in ("throughput", "p50/p95/p99", "hit rate",
+                       "device utilization", "queueing delay"):
+            assert needle in text
