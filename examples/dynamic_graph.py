@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Dynamic graphs: mutate a served graph and patch the compiled program.
+
+Walkthrough of the `repro.dyngraph` subsystem:
+
+1. wrap a dataset in a `MutableGraph` and compile it;
+2. apply a batched edge/feature delta and inspect its exact effect;
+3. patch the compiled program (no recompile) and verify the patched
+   program's inference output is bit-identical to a from-scratch
+   compile of the mutated graph;
+4. trigger the patcher's recompile fallback with an oversized delta;
+5. serve an interleaved infer/mutate stream with patch-instead-of-evict
+   and compare against the evict policy.
+"""
+
+import time
+
+import numpy as np
+
+from repro import Compiler, build_model, init_weights, load_dataset, run_strategy
+from repro.dyngraph import (
+    GraphDelta,
+    MutableGraph,
+    PatchPolicy,
+    ProgramPatcher,
+    random_delta,
+    warm_views,
+)
+from repro.serve import InferenceServer, churn_stream
+
+
+def main() -> None:
+    # 1. a mutable graph: versioned, immutable snapshots ----------------
+    graph = MutableGraph(load_dataset("CO"), graph_id="cora-live")
+    snapshot = graph.snapshot()
+    print(f"graph: {graph}")
+
+    model = build_model("GCN", snapshot.num_features, snapshot.hidden_dim,
+                        snapshot.num_classes)
+    weights = init_weights(model, seed=0)
+    program = Compiler().compile(model, snapshot, weights)
+    warm_views(program)  # materialise the per-block density tables
+
+    # 2. a batched mutation: edge churn + a feature write ---------------
+    delta = GraphDelta.edges(
+        inserts=[(0, 5), (7, 9, 0.5)],      # (row, col[, weight])
+        deletes=[(1, 2)],
+        features=[(3, 10, 1.25)],           # H0[3, 10] = 1.25
+    )
+    applied = graph.apply(delta)
+    print(f"\napplied: {applied}")
+    print(f"  touched vertices: {applied.touched_vertices.tolist()}")
+    print(f"  nnz(A) delta: {applied.a_nnz_delta:+d}, "
+          f"nnz(H0) delta: {applied.h_nnz_delta:+d}")
+
+    # 3. patch the program and prove exactness --------------------------
+    patcher = ProgramPatcher()
+    program, report = patcher.patch(program, graph.snapshot(), applied)
+    print(f"\npatch: {report.wall_s * 1e3:.2f} ms wall "
+          f"({report.dirty_blocks} dirty blocks, "
+          f"{report.reanalyzed_pairs} K2P re-decisions, "
+          f"{report.decision_flips} flips)")
+
+    t0 = time.perf_counter()
+    fresh = Compiler().compile(model, graph.snapshot(), weights)
+    warm_views(fresh)
+    print(f"full recompile for comparison: "
+          f"{(time.perf_counter() - t0) * 1e3:.2f} ms wall")
+
+    out_patched = run_strategy(program, "Dynamic").output_dense()
+    out_fresh = run_strategy(fresh, "Dynamic").output_dense()
+    assert np.array_equal(out_patched, out_fresh)
+    print("patched inference output == from-scratch compile (bit-exact)")
+
+    # 4. the fallback heuristic -----------------------------------------
+    big = random_delta(graph.num_vertices, snapshot.num_features,
+                       edge_inserts=400, edge_deletes=400, seed=1)
+    applied = graph.apply(big)
+    strict = ProgramPatcher(PatchPolicy(max_edge_fraction=0.01))
+    program, report = strict.patch(program, graph.snapshot(), applied)
+    print(f"\noversized delta -> patched={report.patched} "
+          f"(reason: {report.reason})")
+
+    # 5. serving under churn: patch vs evict ----------------------------
+    print("\nserving an interleaved infer/mutate stream:")
+    for policy in ("patch", "evict"):
+        live = MutableGraph(load_dataset("CO"), graph_id="cora-churn")
+        server = InferenceServer(pool_size=2, max_batch_size=4,
+                                 return_outputs=False,
+                                 mutation_policy=policy)
+        server.register_graph(live)
+        stream = churn_stream(40, graph=live, models=("GCN",),
+                              mutation_every=5, edge_fraction=0.01,
+                              rate_rps=10_000.0, seed=7)
+        r = server.serve(stream)
+        print(f"  {policy:>5}: {r.throughput_rps:>9,.0f} req/s, "
+              f"p95 {r.latency_p95_s * 1e3:.3f} ms, "
+              f"hit rate {r.cache_hit_rate * 100:.0f}%, "
+              f"compile {r.compile_s * 1e3:.1f} ms, "
+              f"patch {r.patch_s * 1e3:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

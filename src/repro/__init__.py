@@ -44,10 +44,12 @@ from repro.runtime import (
     make_strategy,
 )
 from repro.runtime.executor import run_strategy
+from repro.dyngraph import GraphDelta, MutableGraph, ProgramPatcher
 from repro.serve import (
     InferenceRequest,
     InferenceResponse,
     InferenceServer,
+    MutationRequest,
     ServingReport,
 )
 
@@ -72,10 +74,14 @@ __all__ = [
     "Accelerator",
     "Primitive",
     "estimate_resources",
+    "GraphDelta",
     "InferenceResult",
     "InferenceRequest",
     "InferenceResponse",
     "InferenceServer",
+    "MutableGraph",
+    "MutationRequest",
+    "ProgramPatcher",
     "ServingReport",
     "RuntimeSystem",
     "end_to_end_seconds",

@@ -7,6 +7,7 @@ Gives downstream users the paper's core experiment without writing code:
     python -m repro resources
     python -m repro datasets
     python -m repro serve-bench --pool 4 --requests 200 --arrival poisson
+    python -m repro dyngraph-bench --dataset PU --edge-fraction 0.01
 
 Latency, primitive histogram and overhead are printed in the paper's
 units; ``compare`` reproduces one cell of Table VII.  ``serve-bench``
@@ -192,6 +193,86 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_dyngraph_bench(args) -> int:
+    from repro.dyngraph import churn_experiment, patch_vs_recompile
+
+    if args.dataset not in DATASET_NAMES:
+        raise SystemExit(
+            f"dyngraph-bench: --dataset must be one of {DATASET_NAMES}"
+        )
+    if args.model not in MODEL_NAMES:
+        raise SystemExit(f"dyngraph-bench: --model must be one of {MODEL_NAMES}")
+    if not 0.0 < args.scale <= 1.0:
+        raise SystemExit("dyngraph-bench: --scale must be in (0, 1]")
+    if not 0.0 < args.edge_fraction <= 1.0:
+        raise SystemExit("dyngraph-bench: --edge-fraction must be in (0, 1]")
+    if args.repeats < 1:
+        raise SystemExit("dyngraph-bench: --repeats must be >= 1")
+    if args.requests < 2 or args.mutation_every < 2:
+        raise SystemExit(
+            "dyngraph-bench: --requests and --mutation-every must be >= 2"
+        )
+    if args.pool < 1:
+        raise SystemExit("dyngraph-bench: --pool must be >= 1")
+    if args.churn_scale is not None and not 0.0 < args.churn_scale <= 1.0:
+        raise SystemExit("dyngraph-bench: --churn-scale must be in (0, 1]")
+
+    micro = patch_vs_recompile(
+        dataset=args.dataset,
+        scale=args.scale,
+        model_name=args.model,
+        edge_fraction=args.edge_fraction,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    print(
+        f"patch vs recompile — {micro.model} on {micro.dataset} "
+        f"(scale {micro.scale}, nnz {micro.nnz:,}), "
+        f"{micro.delta_edges} edge changes/delta "
+        f"({micro.delta_edges / micro.nnz:.2%} churn):"
+    )
+    print(f"  full recompile    : {sci(micro.recompile_s * 1e3)} ms "
+          f"(compile + view materialisation)")
+    print(f"  program patch     : {sci(micro.patch_s * 1e3)} ms "
+          f"({micro.dirty_blocks} dirty blocks, "
+          f"{micro.reanalyzed_pairs} K2P re-decisions, "
+          f"{micro.decision_flips} flips)")
+    print(f"  speedup           : {micro.speedup:.1f}x")
+
+    churn_scale = args.churn_scale
+    if churn_scale is None:
+        # serving simulates every program version: default to a smaller
+        # instance than the microbenchmark to keep the sweep quick
+        churn_scale = min(args.scale, 0.25)
+    print(f"\nchurn serving stream: {args.dataset} at scale {churn_scale}, "
+          f"{args.requests} events, mutation every {args.mutation_every}")
+    reports = churn_experiment(
+        dataset=args.dataset,
+        scale=churn_scale,
+        model_name=args.model,
+        num_requests=args.requests,
+        mutation_every=args.mutation_every,
+        edge_fraction=args.edge_fraction,
+        pool_size=args.pool,
+        seed=args.seed,
+    )
+    for policy in ("patch", "evict"):
+        print(f"\n== churn serving, mutation policy: {policy} ==")
+        print(reports[policy].format_report())
+    patch_r, evict_r = reports["patch"], reports["evict"]
+    ratio = (
+        patch_r.throughput_rps / evict_r.throughput_rps
+        if evict_r.throughput_rps else float("inf")
+    )
+    print("\nsummary:")
+    print(f"  churn throughput   : patch {patch_r.throughput_rps:,.0f} req/s vs "
+          f"evict {evict_r.throughput_rps:,.0f} req/s ({ratio:.2f}x)")
+    print(f"  compile time spent : patch {patch_r.compile_s * 1e3:.1f} ms "
+          f"(+ {patch_r.patch_s * 1e3:.1f} ms patching) vs "
+          f"evict {evict_r.compile_s * 1e3:.1f} ms")
+    return 0
+
+
 def cmd_resources(args) -> int:
     print(estimate_resources(u250_default()).format_table())
     return 0
@@ -263,6 +344,30 @@ def main(argv=None) -> int:
                        help="program-cache capacity")
     p_srv.add_argument("--seed", type=int, default=0)
     p_srv.set_defaults(func=cmd_serve_bench)
+
+    p_dyn = sub.add_parser(
+        "dyngraph-bench",
+        help="patch-vs-recompile and churn-serving benchmarks "
+             "(repro.dyngraph)",
+    )
+    p_dyn.add_argument("--dataset", default="PU")
+    p_dyn.add_argument("--model", default="GCN")
+    p_dyn.add_argument("--scale", type=float, default=1.0,
+                       help="dataset scale for the microbenchmark")
+    p_dyn.add_argument("--churn-scale", type=float, default=None,
+                       help="dataset scale for the churn serving stream "
+                            "(default: min(--scale, 0.25))")
+    p_dyn.add_argument("--edge-fraction", type=float, default=0.01,
+                       help="edge churn per delta, as a fraction of nnz(A)")
+    p_dyn.add_argument("--repeats", type=int, default=5,
+                       help="mutations averaged in the microbenchmark")
+    p_dyn.add_argument("--requests", type=int, default=48,
+                       help="events in the churn serving stream")
+    p_dyn.add_argument("--mutation-every", type=int, default=6,
+                       help="every N-th event is a mutation")
+    p_dyn.add_argument("--pool", type=int, default=2)
+    p_dyn.add_argument("--seed", type=int, default=0)
+    p_dyn.set_defaults(func=cmd_dyngraph_bench)
 
     p_res = sub.add_parser("resources", help="Fig. 9 resource table")
     p_res.set_defaults(func=cmd_resources)

@@ -58,6 +58,35 @@ def profile_matrix(name: str, mat) -> MatrixProfile:
     )
 
 
+def update_profile(profile: MatrixProfile, nnz_delta: int) -> MatrixProfile:
+    """Re-profile a mutated matrix in O(1) from its structural nnz delta.
+
+    The dyngraph hot path: instead of re-scanning the matrix
+    (:func:`profile_matrix`), the new density and off-chip storage format
+    are derived from the old profile plus the number of population
+    changes (inserts minus removals).  Exact by construction — the delta
+    comes from the mutation log, not an estimate — so the result is
+    bit-identical to a from-scratch re-profile.
+    """
+    nnz = profile.nnz + int(nnz_delta)
+    elements = profile.shape[0] * profile.shape[1]
+    if nnz < 0 or nnz > elements:
+        raise ValueError(
+            f"nnz delta {nnz_delta} drives {profile.name!r} out of range "
+            f"(nnz {profile.nnz} -> {nnz} of {elements})"
+        )
+    dens = nnz / elements if elements else 0.0
+    sparse = choose_storage_format(dens)
+    return MatrixProfile(
+        name=profile.name,
+        shape=profile.shape,
+        nnz=nnz,
+        density=dens,
+        stored_sparse=sparse,
+        stored_bytes=stored_bytes(nnz, elements, sparse),
+    )
+
+
 def profile_partitions(pm: PartitionedMatrix) -> dict:
     """Summary of a partitioned view's density structure (for reports)."""
     grid = pm.density_grid

@@ -1,0 +1,210 @@
+"""Churn experiments: patch-vs-recompile cost and serving under mutation.
+
+Two measurements back the dyngraph subsystem's claims (shared by
+``benchmarks/bench_dyngraph_churn.py`` and the ``python -m repro
+dyngraph-bench`` CLI):
+
+``patch_vs_recompile``
+    the microbenchmark — apply a small random edge delta to a mid-size
+    graph and compare the wall-clock cost of
+    :meth:`~repro.dyngraph.patcher.ProgramPatcher.patch` against a full
+    ``Compiler.compile``.  Both sides are timed to the same readiness
+    bar: a profiled program *with materialised partitioned views* (the
+    per-block density tables the runtime needs), since a recompile
+    throws those away and the first run after it pays the O(nnz)
+    rebuild.
+
+``churn_experiment``
+    the serving comparison — the same interleaved infer/mutate stream
+    replayed through two servers that differ only in mutation policy
+    (``patch`` vs ``evict``), reporting throughput, latency and compile
+    time for each.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.compiler.compile import CompiledProgram, Compiler
+from repro.config import u250_default
+from repro.datasets.catalog import load_dataset
+from repro.dyngraph.delta import random_delta
+from repro.dyngraph.mutable import MutableGraph
+from repro.dyngraph.patcher import PatchPolicy, ProgramPatcher
+from repro.gnn import build_model, init_weights
+
+
+def warm_views(program: CompiledProgram) -> None:
+    """Materialise the partitioned views (and density grids) the
+    program's kernels read — the state a recompile discards."""
+    for kernel in program.graph.topo_order():
+        scheme = kernel.exec_scheme
+        for name, blocking in (
+            (kernel.x_name, scheme.x_blocking),
+            (kernel.y_name, scheme.y_blocking),
+        ):
+            if name in program.store:
+                program.view(name, *blocking).density_grid
+
+
+@dataclass(frozen=True)
+class MicrobenchResult:
+    """One patch-vs-recompile measurement."""
+
+    dataset: str
+    model: str
+    scale: float
+    nnz: int
+    delta_edges: int
+    #: best-of-N seconds of compile + view materialisation per mutation
+    recompile_s: float
+    #: best-of-N seconds of patch (incl. re-materialising dirty densities)
+    patch_s: float
+    dirty_blocks: int
+    reanalyzed_pairs: int
+    decision_flips: int
+
+    @property
+    def speedup(self) -> float:
+        return self.recompile_s / self.patch_s if self.patch_s > 0 else float("inf")
+
+
+def patch_vs_recompile(
+    *,
+    dataset: str = "PU",
+    scale: float = 0.5,
+    model_name: str = "GCN",
+    edge_fraction: float = 0.01,
+    feature_updates: int = 8,
+    repeats: int = 5,
+    seed: int = 0,
+    policy: PatchPolicy | None = None,
+) -> MicrobenchResult:
+    """Time patching a ``edge_fraction`` delta against full recompiles."""
+    data = load_dataset(dataset, scale=scale, seed=seed)
+    graph = MutableGraph(data, graph_id=f"{dataset}-bench")
+    snapshot = graph.snapshot()
+    model = build_model(
+        model_name, snapshot.num_features, snapshot.hidden_dim,
+        snapshot.num_classes,
+    )
+    weights = init_weights(model, seed=seed)
+    compiler = Compiler(u250_default())
+    program = compiler.compile(model, snapshot, weights)
+    warm_views(program)
+    patcher = ProgramPatcher(policy)
+
+    n_changes = max(1, int(graph.nnz * edge_fraction / 2))
+    recompile_s = patch_s = float("inf")
+    dirty = reanalyzed = flips = 0
+    for rep in range(repeats):
+        delta = random_delta(
+            graph.num_vertices,
+            snapshot.num_features,
+            edge_inserts=n_changes,
+            edge_deletes=n_changes,
+            feature_updates=feature_updates,
+            seed=seed + 101 * (rep + 1),
+        )
+        applied = graph.apply(delta)
+        snapshot = graph.snapshot()
+
+        t0 = time.perf_counter()
+        fresh = compiler.compile(model, snapshot, weights)
+        warm_views(fresh)
+        recompile_s = min(recompile_s, time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        program, report = patcher.patch(program, snapshot, applied)
+        warm_views(program)
+        # best-of-N (timeit-style): the minimum is the noise-robust
+        # estimate of each path's intrinsic cost
+        patch_s = min(patch_s, time.perf_counter() - t0)
+        if not report.patched:
+            raise RuntimeError(
+                f"microbench delta unexpectedly fell back: {report.reason}"
+            )
+        dirty += report.dirty_blocks
+        reanalyzed += report.reanalyzed_pairs
+        flips += report.decision_flips
+
+    return MicrobenchResult(
+        dataset=dataset,
+        model=model_name,
+        scale=scale,
+        nnz=graph.nnz,
+        delta_edges=2 * n_changes,
+        recompile_s=recompile_s,
+        patch_s=patch_s,
+        dirty_blocks=dirty // repeats,
+        reanalyzed_pairs=reanalyzed // repeats,
+        decision_flips=flips // repeats,
+    )
+
+
+def churn_experiment(
+    *,
+    dataset: str = "PU",
+    scale: float = 0.25,
+    model_name: str = "GCN",
+    num_requests: int = 60,
+    mutation_every: int = 6,
+    edge_fraction: float = 0.005,
+    pool_size: int = 2,
+    max_batch_size: int = 4,
+    rate_rps: float | None = None,
+    seed: int = 0,
+) -> dict:
+    """Serve one interleaved infer/mutate stream under both mutation
+    policies; returns ``{"patch": ServingReport, "evict": ServingReport}``.
+
+    Each policy gets its own server *and* its own :class:`MutableGraph`
+    built from the same seed, so the two runs see bit-identical graphs,
+    deltas and arrival times — the only difference is what happens to
+    cached programs when a mutation lands.
+
+    The default arrival rate is calibrated against the *measured compile
+    time* — the stream spans a few compiles' worth of virtual time — so
+    the comparison sits in the regime where mutation handling matters:
+    fast enough that recompile stalls queue requests, long enough that a
+    single compile cannot dominate the whole sweep.
+    """
+    from repro.serve.server import InferenceServer
+    from repro.serve.workload import churn_stream
+
+    rate = rate_rps
+    if rate is None:
+        data = load_dataset(dataset, scale=scale, seed=seed)
+        model = build_model(
+            model_name, data.num_features, data.hidden_dim, data.num_classes
+        )
+        probe = Compiler(u250_default()).compile(
+            model, data, init_weights(model, seed=seed)
+        )
+        span_s = 3.0 * max(probe.timings.total_s, 1e-4)
+        rate = num_requests / span_s
+
+    reports: dict = {}
+    for policy in ("patch", "evict"):
+        data = load_dataset(dataset, scale=scale, seed=seed)
+        graph = MutableGraph(data, graph_id=f"{dataset}-churn")
+        server = InferenceServer(
+            u250_default(),
+            pool_size=pool_size,
+            max_batch_size=max_batch_size,
+            return_outputs=False,
+            mutation_policy=policy,
+        )
+        server.register_graph(graph)
+        stream = churn_stream(
+            num_requests,
+            graph=graph,
+            models=(model_name,),
+            mutation_every=mutation_every,
+            edge_fraction=edge_fraction,
+            rate_rps=rate,
+            seed=seed,
+        )
+        reports[policy] = server.serve(stream)
+    return reports

@@ -1,0 +1,254 @@
+"""Graph mutation deltas: the unit of change in ``repro.dyngraph``.
+
+A :class:`GraphDelta` is a *request* to mutate a graph: batched edge
+inserts/deletes on the adjacency matrix plus point updates on the input
+feature matrix.  It is declarative and graph-agnostic — the same delta
+can be replayed against any graph of compatible shape, and a workload
+generator can synthesise deltas without holding the graph.
+
+An :class:`AppliedDelta` is what a mutation *actually did* to one
+concrete graph version: the effective structural changes (coordinates
+whose population flipped between zero and nonzero), the value-only
+updates, and the per-vertex degree drift.  Everything downstream — the
+incremental nnz-grid maintenance, the O(1) re-profiling, the program
+patcher — consumes applied deltas, because only they are exact: an
+insert of an edge that already exists is a value update, a delete of an
+absent edge is a no-op, and neither may perturb a density counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _as_index(arr, name: str) -> np.ndarray:
+    out = np.asarray(arr, dtype=np.int64).ravel()
+    if out.size and out.min() < 0:
+        raise ValueError(f"{name} contains negative indices")
+    return out
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """A batched mutation request (edge inserts/deletes + feature updates).
+
+    Coordinates are vertex indices into the adjacency matrix; feature
+    updates assign ``H0[row, col] = val`` (assigning 0 deletes a stored
+    nonzero).  Edge insert values must be nonzero — an insert *is* the
+    creation of a nonzero; use a delete to remove one.
+    """
+
+    insert_rows: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    insert_cols: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    insert_vals: np.ndarray = field(default_factory=lambda: np.empty(0, np.float32))
+    delete_rows: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    delete_cols: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    feature_rows: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    feature_cols: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    feature_vals: np.ndarray = field(default_factory=lambda: np.empty(0, np.float32))
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "insert_rows", _as_index(self.insert_rows, "insert_rows"))
+        object.__setattr__(self, "insert_cols", _as_index(self.insert_cols, "insert_cols"))
+        object.__setattr__(
+            self, "insert_vals", np.asarray(self.insert_vals, dtype=np.float32).ravel()
+        )
+        object.__setattr__(self, "delete_rows", _as_index(self.delete_rows, "delete_rows"))
+        object.__setattr__(self, "delete_cols", _as_index(self.delete_cols, "delete_cols"))
+        object.__setattr__(self, "feature_rows", _as_index(self.feature_rows, "feature_rows"))
+        object.__setattr__(self, "feature_cols", _as_index(self.feature_cols, "feature_cols"))
+        object.__setattr__(
+            self, "feature_vals", np.asarray(self.feature_vals, dtype=np.float32).ravel()
+        )
+        if not (
+            self.insert_rows.size == self.insert_cols.size == self.insert_vals.size
+        ):
+            raise ValueError("insert rows/cols/vals must align")
+        if self.delete_rows.size != self.delete_cols.size:
+            raise ValueError("delete rows/cols must align")
+        if not (
+            self.feature_rows.size == self.feature_cols.size == self.feature_vals.size
+        ):
+            raise ValueError("feature rows/cols/vals must align")
+        if self.insert_vals.size and np.any(self.insert_vals <= 0):
+            raise ValueError(
+                "edge insert values must be positive (a zero insert is a "
+                "delete, and negative weights would break the guarantee "
+                "that normalised-operand structure tracks A's structure)"
+            )
+        if self.insert_rows.size and np.any(self.insert_rows == self.insert_cols):
+            raise ValueError("self-loop inserts are not supported")
+
+    # -- construction helpers -------------------------------------------
+    @classmethod
+    def edges(
+        cls,
+        inserts: list[tuple] = (),
+        deletes: list[tuple] = (),
+        features: list[tuple] = (),
+    ) -> "GraphDelta":
+        """Build a delta from python tuples.
+
+        ``inserts``: ``(row, col)`` (value 1.0) or ``(row, col, val)``;
+        ``deletes``: ``(row, col)``; ``features``: ``(row, col, val)``.
+        """
+        irows = [e[0] for e in inserts]
+        icols = [e[1] for e in inserts]
+        ivals = [e[2] if len(e) > 2 else 1.0 for e in inserts]
+        return cls(
+            insert_rows=np.array(irows, np.int64),
+            insert_cols=np.array(icols, np.int64),
+            insert_vals=np.array(ivals, np.float32),
+            delete_rows=np.array([e[0] for e in deletes], np.int64),
+            delete_cols=np.array([e[1] for e in deletes], np.int64),
+            feature_rows=np.array([e[0] for e in features], np.int64),
+            feature_cols=np.array([e[1] for e in features], np.int64),
+            feature_vals=np.array([e[2] for e in features], np.float32),
+        )
+
+    # -- size queries ----------------------------------------------------
+    @property
+    def num_edge_changes(self) -> int:
+        return int(self.insert_rows.size + self.delete_rows.size)
+
+    @property
+    def num_feature_changes(self) -> int:
+        return int(self.feature_rows.size)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.num_edge_changes == 0 and self.num_feature_changes == 0
+
+    def edge_fraction(self, nnz: int) -> float:
+        """Requested edge churn relative to the graph's current nnz."""
+        return self.num_edge_changes / nnz if nnz else float("inf")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GraphDelta(+{self.insert_rows.size} edges, "
+            f"-{self.delete_rows.size} edges, "
+            f"{self.feature_rows.size} feature updates)"
+        )
+
+
+@dataclass(frozen=True)
+class AppliedDelta:
+    """The exact effect one :class:`GraphDelta` had on one graph version.
+
+    Partitioned into the three classes the incremental machinery cares
+    about:
+
+    - ``a_added_*`` / ``a_removed_*`` — adjacency coordinates whose
+      population flipped (these, and only these, move nnz counters);
+    - ``a_updated_*`` — populated coordinates whose value changed
+      (density is untouched; normalised operand values are not);
+    - ``h_*`` — feature coordinates assigned, with old and new values so
+      the population flip of each is decidable downstream.
+
+    ``touched_vertices`` is the sorted set of vertices whose incident
+    edges (hence degree) changed — exactly the rows/columns whose
+    normalised-adjacency values must be re-scaled by the patcher.
+    """
+
+    version_from: int
+    version_to: int
+    a_added_rows: np.ndarray
+    a_added_cols: np.ndarray
+    a_added_vals: np.ndarray
+    a_removed_rows: np.ndarray
+    a_removed_cols: np.ndarray
+    a_updated_rows: np.ndarray
+    a_updated_cols: np.ndarray
+    h_rows: np.ndarray
+    h_cols: np.ndarray
+    h_old_vals: np.ndarray
+    h_new_vals: np.ndarray
+    touched_vertices: np.ndarray
+
+    @property
+    def a_nnz_delta(self) -> int:
+        return int(self.a_added_rows.size - self.a_removed_rows.size)
+
+    @property
+    def h_nnz_delta(self) -> int:
+        return int(
+            np.count_nonzero(self.h_new_vals) - np.count_nonzero(self.h_old_vals)
+        )
+
+    @property
+    def num_structural_edge_changes(self) -> int:
+        return int(self.a_added_rows.size + self.a_removed_rows.size)
+
+    @property
+    def num_edge_changes(self) -> int:
+        return self.num_structural_edge_changes + int(self.a_updated_rows.size)
+
+    @property
+    def touches_adjacency(self) -> bool:
+        return self.num_edge_changes > 0
+
+    @property
+    def touches_features(self) -> bool:
+        return self.h_rows.size > 0
+
+    def h_structural(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Feature coordinates that flipped population, as
+        ``(added_rows, added_cols, removed_rows, removed_cols)``."""
+        added = (self.h_old_vals == 0) & (self.h_new_vals != 0)
+        removed = (self.h_old_vals != 0) & (self.h_new_vals == 0)
+        return (
+            self.h_rows[added],
+            self.h_cols[added],
+            self.h_rows[removed],
+            self.h_cols[removed],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AppliedDelta(v{self.version_from}->v{self.version_to}, "
+            f"A +{self.a_added_rows.size}/-{self.a_removed_rows.size}"
+            f"/~{self.a_updated_rows.size}, H {self.h_rows.size})"
+        )
+
+
+def random_delta(
+    num_vertices: int,
+    num_features: int,
+    *,
+    edge_inserts: int = 0,
+    edge_deletes: int = 0,
+    feature_updates: int = 0,
+    seed: int = 0,
+) -> GraphDelta:
+    """A random mutation request (graph-agnostic, so deletes of absent
+    edges and inserts of present ones are possible — the graph filters
+    them into the applied delta)."""
+    rng = np.random.default_rng(seed)
+
+    def pairs(n: int) -> tuple[np.ndarray, np.ndarray]:
+        rows = rng.integers(0, num_vertices, size=2 * n + 8)
+        cols = rng.integers(0, num_vertices, size=2 * n + 8)
+        ok = rows != cols
+        return rows[ok][:n], cols[ok][:n]
+
+    irows, icols = pairs(edge_inserts)
+    drows, dcols = pairs(edge_deletes)
+    frows = rng.integers(0, num_vertices, size=feature_updates)
+    fcols = rng.integers(0, max(num_features, 1), size=feature_updates)
+    fvals = np.where(
+        rng.random(feature_updates) < 0.25,
+        0.0,
+        rng.standard_normal(feature_updates),
+    ).astype(np.float32)
+    return GraphDelta(
+        insert_rows=irows,
+        insert_cols=icols,
+        insert_vals=np.ones(irows.size, np.float32),
+        delete_rows=drows,
+        delete_cols=dcols,
+        feature_rows=frows,
+        feature_cols=fcols,
+        feature_vals=fvals,
+    )

@@ -25,14 +25,48 @@ MatrixLike = Union[np.ndarray, sp.spmatrix, DenseMatrix, COOMatrix]
 
 
 def nnz_count(mat: MatrixLike) -> int:
-    """Exact number of numerically-nonzero elements of any matrix type."""
+    """Exact number of numerically-nonzero elements of any matrix type.
+
+    Robust to the two ways a sparse matrix can lie about its population:
+    *explicit zeros* (stored entries whose value is 0) are not counted,
+    and *duplicate coordinates* (legal in COO; two stored entries at one
+    position represent their sum) are summed before counting — e.g. the
+    pair ``(+v, -v)`` at one coordinate is a single zero element.
+    """
     if isinstance(mat, DenseMatrix):
         return mat.nnz
     if isinstance(mat, COOMatrix):
-        return int(np.count_nonzero(mat.val))
+        return int(np.count_nonzero(_summed_coo_values(mat)))
     if sp.issparse(mat):
-        return int(np.count_nonzero(mat.data)) if mat.nnz else 0
+        if mat.nnz == 0:
+            return 0
+        if not getattr(mat, "has_canonical_format", True):
+            # COO (or un-canonicalised CSR/CSC) with duplicate entries:
+            # sum duplicates on a copy so the caller's matrix is untouched
+            mat = mat.tocsr() if mat.format == "coo" else mat.copy()
+            mat.sum_duplicates()
+        return int(np.count_nonzero(mat.data))
     return int(np.count_nonzero(np.asarray(mat)))
+
+
+def _summed_coo_values(mat: COOMatrix) -> np.ndarray:
+    """Values of a :class:`COOMatrix` with duplicate coordinates summed.
+
+    ``COOMatrix`` keeps its triplets sorted by layout, so duplicates are
+    adjacent and one linear scan finds them; the common duplicate-free
+    case returns the value array untouched.
+    """
+    if mat.val.size < 2:
+        return mat.val
+    same = (mat.row[1:] == mat.row[:-1]) & (mat.col[1:] == mat.col[:-1])
+    if not bool(same.any()):
+        return mat.val
+    # np.unique over the linearised coordinates groups duplicates
+    keys = mat.row.astype(np.int64) * mat.shape[1] + mat.col.astype(np.int64)
+    _, inverse = np.unique(keys, return_inverse=True)
+    summed = np.zeros(int(inverse.max()) + 1, dtype=np.float64)
+    np.add.at(summed, inverse, mat.val.astype(np.float64))
+    return summed.astype(mat.val.dtype)
 
 
 def num_elements(mat: MatrixLike) -> int:

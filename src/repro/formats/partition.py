@@ -54,6 +54,11 @@ def block_nnz_grid(
         return grid
     if sp.issparse(mat):
         coo = mat.tocoo()
+        if not coo.has_canonical_format:
+            # duplicate COO coordinates represent their sum: a (+v, -v)
+            # pair at one position is a single zero element, not two
+            coo = coo.copy()
+            coo.sum_duplicates()
         mask = coo.data != 0
         rows, cols = coo.row[mask], coo.col[mask]
     else:
@@ -213,6 +218,108 @@ class PartitionedMatrix:
     def density(self) -> float:
         total = self.shape[0] * self.shape[1]
         return self.nnz / total if total else 0.0
+
+    # -- incremental maintenance (repro.dyngraph) ----------------------------
+    def apply_structural_delta(
+        self,
+        new_matrix: MatrixLike,
+        added_rows: np.ndarray,
+        added_cols: np.ndarray,
+        removed_rows: np.ndarray,
+        removed_cols: np.ndarray,
+    ) -> np.ndarray:
+        """Rebind to a mutated matrix, updating the nnz grid incrementally.
+
+        ``added_*`` / ``removed_*`` are the coordinates whose population
+        changed (zero -> nonzero and nonzero -> zero respectively); value
+        changes between nonzeros need no grid update.  The per-block nnz
+        grid is adjusted in O(delta), touched row-stripe caches are
+        dropped, and the density grid is invalidated — no re-scan of the
+        matrix happens.  Returns the unique dirty ``(block_i, block_j)``
+        coordinates as an ``(n, 2)`` array (the blocks whose density
+        changed, which is what the Analyzer must re-decide).
+        """
+        if tuple(new_matrix.shape) != self.shape:
+            raise ValueError(
+                f"mutated matrix shape {new_matrix.shape} != {self.shape}; "
+                "partition geometry only survives same-shape mutations"
+            )
+        added_rows = np.asarray(added_rows, dtype=np.int64).ravel()
+        added_cols = np.asarray(added_cols, dtype=np.int64).ravel()
+        removed_rows = np.asarray(removed_rows, dtype=np.int64).ravel()
+        removed_cols = np.asarray(removed_cols, dtype=np.int64).ravel()
+        if added_rows.shape != added_cols.shape or removed_rows.shape != removed_cols.shape:
+            raise ValueError("delta row/col arrays must pair up")
+        if sp.issparse(new_matrix) != self.is_sparse_storage:
+            raise ValueError("mutation must preserve the storage type")
+
+        # stage the grid update on a copy so a validation failure leaves
+        # the view untouched rather than half-patched
+        bi = np.concatenate((added_rows, removed_rows)) // self.block_rows
+        bj = np.concatenate((added_cols, removed_cols)) // self.block_cols
+        if bi.size:
+            signs = np.concatenate(
+                (
+                    np.ones(added_rows.size, dtype=np.int64),
+                    -np.ones(removed_rows.size, dtype=np.int64),
+                )
+            )
+            grid = self._nnz_grid.copy()
+            np.add.at(grid, (bi, bj), signs)
+            if grid.min() < 0:
+                raise ValueError(
+                    "nnz grid went negative: removed coordinates were not "
+                    "all populated"
+                )
+            dirty = np.unique(np.stack((bi, bj), axis=1), axis=0)
+        else:
+            grid = self._nnz_grid
+            dirty = np.empty((0, 2), dtype=np.int64)
+
+        if self.is_sparse_storage:
+            self.matrix = as_csr(new_matrix)
+        else:
+            self.matrix = np.ascontiguousarray(np.asarray(new_matrix, dtype=DTYPE))
+        self._nnz_grid = grid
+        self._density_grid = None
+        # every cached stripe observes the old bytes; rebinding the matrix
+        # invalidates them all (stripes rebuild lazily on next access)
+        self._stripe_cache.clear()
+        return dirty
+
+    @classmethod
+    def from_patched(
+        cls,
+        old: "PartitionedMatrix",
+        new_matrix: MatrixLike,
+        added_rows: np.ndarray,
+        added_cols: np.ndarray,
+        removed_rows: np.ndarray,
+        removed_cols: np.ndarray,
+    ) -> tuple["PartitionedMatrix", np.ndarray]:
+        """A new view of the mutated matrix reusing ``old``'s nnz grid.
+
+        The O(nnz) ``block_nnz_grid`` scan of ``__init__`` is replaced by
+        copying the old grid and applying the delta in O(delta) — the
+        incremental re-profiling at the heart of ``repro.dyngraph``.
+        ``old`` is left untouched (it may still back cached programs).
+        Returns ``(view, dirty_blocks)``.
+        """
+        pm = cls.__new__(cls)
+        pm.matrix = old.matrix
+        pm.is_sparse_storage = old.is_sparse_storage
+        pm.block_rows = old.block_rows
+        pm.block_cols = old.block_cols
+        pm.name = old.name
+        pm._nnz_grid = old._nnz_grid.copy()
+        pm._stripe_cache = {}
+        pm._row_sizes = old._row_sizes
+        pm._col_sizes = old._col_sizes
+        pm._density_grid = None
+        dirty = pm.apply_structural_delta(
+            new_matrix, added_rows, added_cols, removed_rows, removed_cols
+        )
+        return pm, dirty
 
     # -- storage accounting ----------------------------------------------------
     def block_bytes(self, i: int, j: int, *, sparse: bool | None = None) -> int:

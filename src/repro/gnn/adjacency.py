@@ -27,6 +27,19 @@ def _degrees(a: sp.csr_matrix) -> np.ndarray:
     return np.asarray(a.sum(axis=1)).ravel()
 
 
+def _canonical(mat: sp.csr_matrix) -> sp.csr_matrix:
+    """Sorted, duplicate-free CSR.
+
+    scipy's diagonal matmuls can emit unsorted column indices; the
+    incremental operand patching of :mod:`repro.dyngraph` relies on a
+    deterministic entry order so a patched operand is bit-identical —
+    including downstream accumulation order — to a rebuilt one.
+    """
+    if not mat.has_sorted_indices:
+        mat.sort_indices()
+    return mat
+
+
 def gcn_norm(a: MatrixLike) -> sp.csr_matrix:
     """Symmetric GCN normalisation with self-loops: D^-1/2 (A+I) D^-1/2."""
     a = as_csr(a)
@@ -36,7 +49,7 @@ def gcn_norm(a: MatrixLike) -> sp.csr_matrix:
     with np.errstate(divide="ignore"):
         d_inv_sqrt = np.where(deg > 0, 1.0 / np.sqrt(deg), 0.0)
     d_mat = sp.diags(d_inv_sqrt.astype(DTYPE))
-    return (d_mat @ a_hat @ d_mat).tocsr().astype(DTYPE)
+    return _canonical((d_mat @ a_hat @ d_mat).tocsr().astype(DTYPE))
 
 
 def mean_norm(a: MatrixLike) -> sp.csr_matrix:
@@ -45,16 +58,18 @@ def mean_norm(a: MatrixLike) -> sp.csr_matrix:
     deg = _degrees(a)
     with np.errstate(divide="ignore"):
         d_inv = np.where(deg > 0, 1.0 / deg, 0.0)
-    return (sp.diags(d_inv.astype(DTYPE)) @ a).tocsr().astype(DTYPE)
+    return _canonical((sp.diags(d_inv.astype(DTYPE)) @ a).tocsr().astype(DTYPE))
 
 
 def gin_adj(a: MatrixLike, eps: float = 0.0) -> sp.csr_matrix:
     """GIN aggregation operand: A + (1 + eps) I."""
     a = as_csr(a)
     n = a.shape[0]
-    return (
-        a + DTYPE(1.0 + eps) * sp.identity(n, dtype=DTYPE, format="csr")
-    ).tocsr().astype(DTYPE)
+    return _canonical(
+        (
+            a + DTYPE(1.0 + eps) * sp.identity(n, dtype=DTYPE, format="csr")
+        ).tocsr().astype(DTYPE)
+    )
 
 
 #: adjacency-variant name -> builder

@@ -85,7 +85,9 @@ class CoreTimeline:
         mx = float(self.busy.max())
         if mx == 0.0:
             return 1.0
-        return float(self.busy.mean()) / mx
+        # float summation in mean() can overshoot max by an ulp when all
+        # cores carry identical load; clamp to keep the [0, 1] contract
+        return min(float(self.busy.mean()) / mx, 1.0)
 
     def utilisation(self) -> float:
         """Aggregate busy fraction of the schedule so far."""

@@ -26,11 +26,12 @@ Quickstart::
 from repro.serve.batcher import MicroBatch, MicroBatcher
 from repro.serve.cache import CacheStats, ProgramCache
 from repro.serve.pool import AcceleratorPool, DispatchEvent
-from repro.serve.request import InferenceRequest, InferenceResponse
-from repro.serve.server import InferenceServer, ServingReport
+from repro.serve.request import InferenceRequest, InferenceResponse, MutationRequest
+from repro.serve.server import MUTATION_POLICIES, InferenceServer, ServingReport
 from repro.serve.workload import (
     ARRIVAL_KINDS,
     bursty_arrivals,
+    churn_stream,
     poisson_arrivals,
     steady_arrivals,
     synthesize,
@@ -38,6 +39,7 @@ from repro.serve.workload import (
 
 __all__ = [
     "ARRIVAL_KINDS",
+    "MUTATION_POLICIES",
     "AcceleratorPool",
     "CacheStats",
     "DispatchEvent",
@@ -46,9 +48,11 @@ __all__ = [
     "InferenceServer",
     "MicroBatch",
     "MicroBatcher",
+    "MutationRequest",
     "ProgramCache",
     "ServingReport",
     "bursty_arrivals",
+    "churn_stream",
     "poisson_arrivals",
     "steady_arrivals",
     "synthesize",

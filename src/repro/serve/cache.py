@@ -25,11 +25,19 @@ from repro.compiler.compile import CompiledProgram
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Counters accumulated over the cache's lifetime."""
+    """Counters accumulated over the cache's lifetime.
+
+    ``evictions`` counts entries dropped by LRU capacity pressure;
+    ``invalidations`` counts entries removed deliberately through
+    :meth:`ProgramCache.invalidate` (e.g. a graph mutation making cached
+    programs stale).  Counters survive :meth:`ProgramCache.clear`; use
+    :meth:`ProgramCache.reset_stats` to zero them explicitly.
+    """
 
     hits: int
     misses: int
     evictions: int
+    invalidations: int
     size: int
     capacity: int
     #: compile seconds actually spent (sum over misses)
@@ -54,6 +62,7 @@ class ProgramCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
         self.compile_s = 0.0
         self.saved_s = 0.0
 
@@ -106,11 +115,39 @@ class ProgramCache:
         self.put(key, program)
         return program, compile_s, False
 
+    def pop(self, key: tuple) -> Optional[CompiledProgram]:
+        """Remove and return an entry without touching any counter.
+
+        The re-keying primitive: a mutation that *patches* a cached
+        program pops it from its stale key and re-inserts the patched
+        program under the new one — neither an eviction (nothing is
+        lost) nor an invalidation (nothing goes stale).
+        """
+        return self._entries.pop(key, None)
+
+    def invalidate(
+        self, predicate: Callable[[tuple, CompiledProgram], bool]
+    ) -> int:
+        """Drop every entry for which ``predicate(key, program)`` holds.
+
+        Returns the number of entries removed; each counts as an
+        invalidation in :class:`CacheStats`.
+        """
+        stale = [
+            key for key, program in self._entries.items()
+            if predicate(key, program)
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.invalidations += len(stale)
+        return len(stale)
+
     def stats(self) -> CacheStats:
         return CacheStats(
             hits=self.hits,
             misses=self.misses,
             evictions=self.evictions,
+            invalidations=self.invalidations,
             size=len(self._entries),
             capacity=self.capacity,
             compile_s=self.compile_s,
@@ -118,5 +155,16 @@ class ProgramCache:
         )
 
     def clear(self) -> None:
-        """Drop all entries (counters are kept)."""
+        """Drop all entries.  Counters survive — hit/miss history is an
+        account of traffic served, not of current contents; call
+        :meth:`reset_stats` to zero it explicitly."""
         self._entries.clear()
+
+    def reset_stats(self) -> None:
+        """Zero all counters (entries are kept)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.compile_s = 0.0
+        self.saved_s = 0.0

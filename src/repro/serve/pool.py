@@ -106,7 +106,8 @@ class AcceleratorPool:
         mx = float(self.busy.max()) if self.num_devices else 0.0
         if mx == 0.0:
             return 1.0
-        return float(self.busy.mean()) / mx
+        # clamp: mean() summation can overshoot max by an ulp on even load
+        return min(float(self.busy.mean()) / mx, 1.0)
 
     def reset(self) -> None:
         """Clear the virtual clock, statistics and device hardware state."""

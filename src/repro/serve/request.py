@@ -136,6 +136,25 @@ class InferenceRequest:
 
 
 @dataclass
+class MutationRequest:
+    """A graph mutation entering the server's request stream.
+
+    ``graph_id`` names a :class:`~repro.dyngraph.mutable.MutableGraph`
+    registered with the server
+    (:meth:`~repro.serve.server.InferenceServer.register_graph`); the
+    delta applies at ``arrival_s`` on the virtual clock.  Inference
+    requests arriving later see the mutated graph; cached programs for
+    it are patched or evicted per the server's mutation policy.
+    Mutations sharing a timestamp with inference requests apply first.
+    """
+
+    graph_id: str
+    delta: object  # a repro.dyngraph.delta.GraphDelta
+    arrival_s: float = 0.0
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+
+@dataclass
 class InferenceResponse:
     """The server's answer to one request, with a full latency breakdown.
 

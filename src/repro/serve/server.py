@@ -27,20 +27,29 @@ identical sweep compiles nothing — the warm/cold comparison behind the
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.compiler.compile import CompiledProgram, Compiler
 from repro.config import AcceleratorConfig, u250_default
 from repro.datasets.catalog import GraphData, load_dataset
+from repro.dyngraph.mutable import MutableGraph
+from repro.dyngraph.patcher import PatchPolicy, ProgramPatcher
 from repro.gnn import build_model, init_weights, prune_weights
 from repro.hw.memory import pcie_transfer_seconds
 from repro.runtime.executor import run_strategy
 from repro.serve.batcher import MicroBatch, MicroBatcher
 from repro.serve.cache import CacheStats, ProgramCache
 from repro.serve.pool import AcceleratorPool
-from repro.serve.request import InferenceRequest, InferenceResponse
+from repro.serve.request import (
+    InferenceRequest,
+    InferenceResponse,
+    MutationRequest,
+    _dataset_fingerprint,
+)
+
+MUTATION_POLICIES = ("patch", "evict")
 
 
 @dataclass(frozen=True)
@@ -81,6 +90,12 @@ class ServingReport:
     device_busy_s: list[float]
     device_utilization: list[float]
     load_balance: float
+    #: dyngraph churn accounting (zero on mutation-free sweeps)
+    num_mutations: int = 0
+    num_patches: int = 0
+    num_patch_fallbacks: int = 0
+    patch_s: float = 0.0
+    mutation_evictions: int = 0
     responses: list[InferenceResponse] = field(repr=False, default_factory=list)
 
     def format_report(self) -> str:
@@ -106,6 +121,14 @@ class ServingReport:
             f"  device utilization: {util} (load balance "
             f"{self.load_balance:.3f})",
         ]
+        if self.num_mutations:
+            lines.append(
+                f"  graph mutations   : {self.num_mutations} applied, "
+                f"{self.num_patches} programs patched "
+                f"({self.num_patch_fallbacks} recompile fallbacks, "
+                f"{self.patch_s * 1e3:.2f} ms patching), "
+                f"{self.mutation_evictions} evicted"
+            )
         return "\n".join(lines)
 
 
@@ -121,13 +144,32 @@ class InferenceServer:
         max_batch_size: int = 8,
         max_wait_s: float = 1e-3,
         return_outputs: bool = True,
+        mutation_policy: str = "patch",
+        patch_policy: PatchPolicy | None = None,
     ) -> None:
+        if mutation_policy not in MUTATION_POLICIES:
+            raise ValueError(
+                f"mutation_policy must be one of {MUTATION_POLICIES}, "
+                f"got {mutation_policy!r}"
+            )
         self.config = config or u250_default()
         self.pool = AcceleratorPool(self.config, pool_size)
         self.cache = ProgramCache(cache_capacity)
         self.max_batch_size = max_batch_size
         self.max_wait_s = max_wait_s
         self.return_outputs = return_outputs
+        #: what happens to cached programs when their graph mutates:
+        #: "patch" re-keys them through the ProgramPatcher, "evict"
+        #: invalidates them (the next request pays a full recompile)
+        self.mutation_policy = mutation_policy
+        self.patcher = ProgramPatcher(patch_policy)
+        #: registered dynamic graphs: graph_id -> MutableGraph
+        self._graphs: dict[str, MutableGraph] = {}
+        #: program-cache keys backed by each dynamic graph, mapped to the
+        #: graph version they were compiled against (re-keyed on every
+        #: mutation; a version mismatch means the graph was mutated
+        #: out-of-band and the entry can only be evicted, not patched)
+        self._graph_keys: dict[str, dict[tuple, int]] = {}
         #: loaded datasets are reused across requests and sweeps
         #: (LRU-bounded like the caches below)
         self._datasets: OrderedDict[tuple, GraphData] = OrderedDict()
@@ -136,6 +178,96 @@ class InferenceServer:
         #: don't accumulate outputs for programs that were evicted
         self._run_memo: OrderedDict[tuple, _RunMemo] = OrderedDict()
         self._lru_capacity = cache_capacity
+
+    # -- dynamic graphs -------------------------------------------------
+    def register_graph(self, graph: MutableGraph) -> str:
+        """Register a mutable graph so requests can reference it by id
+        (as their ``dataset``) and mutations can target it."""
+        existing = self._graphs.get(graph.graph_id)
+        if existing is not None and existing is not graph:
+            raise ValueError(f"graph id {graph.graph_id!r} already registered")
+        self._graphs[graph.graph_id] = graph
+        self._graph_keys.setdefault(graph.graph_id, {})
+        return graph.graph_id
+
+    def _resolve(self, request: InferenceRequest) -> tuple[InferenceRequest, str | None]:
+        """Bind a dynamic-graph request to the graph's *current* snapshot.
+
+        Returns ``(request, graph_id)`` — the request is replaced with an
+        inline-``GraphData`` one when its dataset names a registered
+        mutable graph, so fingerprints key on the live version (snapshots
+        carry an O(1) content digest).  ``graph_id`` is None for static
+        requests.
+        """
+        if isinstance(request.dataset, str) and request.dataset in self._graphs:
+            graph = self._graphs[request.dataset]
+            return replace(request, dataset=graph.snapshot()), graph.graph_id
+        return request, None
+
+    def _apply_mutation(
+        self,
+        mutation: MutationRequest,
+        now: float,
+        program_ready: dict,
+        host: dict,
+        counters: dict,
+    ) -> None:
+        """Apply one mutation at virtual time ``now`` and reconcile the
+        program cache under the server's mutation policy.
+
+        ``host`` is the sweep's host-CPU clock (``{"free": t}``): patches
+        and compiles share one host, so they serialise against each
+        other on the virtual timeline.
+        """
+        graph = self._graphs.get(mutation.graph_id)
+        if graph is None:
+            raise KeyError(
+                f"mutation targets unregistered graph {mutation.graph_id!r}"
+            )
+        applied = graph.apply(mutation.delta)
+        counters["mutations"] += 1
+        if applied.version_to == applied.version_from:
+            return  # structural no-op: cached programs stay valid
+        keys = self._graph_keys.get(mutation.graph_id, {})
+        if not keys:
+            return
+        if self.mutation_policy == "evict":
+            counters["evictions"] += self.cache.invalidate(
+                lambda key, _program: key in keys
+            )
+            self._graph_keys[mutation.graph_id] = {}
+            return
+        snapshot = graph.snapshot()
+        new_fp = _dataset_fingerprint(snapshot)
+        new_keys: dict[tuple, int] = {}
+        for old_key, cached_version in keys.items():
+            if cached_version != applied.version_from:
+                # the graph was mutated out-of-band (not through this
+                # server): this delta alone cannot bring the entry up to
+                # date, so it must be evicted, not patched
+                counters["evictions"] += self.cache.invalidate(
+                    lambda key, _program: key == old_key
+                )
+                continue
+            program = self.cache.pop(old_key)
+            if program is None:
+                continue  # lost to LRU pressure in the meantime
+            patched, report = self.patcher.patch(program, snapshot, applied)
+            new_key = (old_key[0], new_fp) + old_key[2:]
+            self.cache.put(new_key, patched)
+            # the patch queues behind whatever the host is doing (an
+            # in-flight compile of this very program included) and holds
+            # the host while it runs
+            start = max(now, host["free"], program_ready.get(old_key, now))
+            host["free"] = start + report.wall_s
+            program_ready[new_key] = host["free"]
+            new_keys[new_key] = applied.version_to
+            if report.patched:
+                counters["patches"] += 1
+            else:
+                counters["fallbacks"] += 1
+            counters["patch_s"] += report.wall_s
+        self._graph_keys[mutation.graph_id] = new_keys
 
     # -- admission ------------------------------------------------------
     def _load(self, request: InferenceRequest) -> GraphData:
@@ -236,12 +368,22 @@ class InferenceServer:
             )
 
     # -- public API -----------------------------------------------------
-    def serve(self, requests: list[InferenceRequest]) -> ServingReport:
-        """Run the request stream to completion on the virtual clock."""
+    def serve(self, requests: list) -> ServingReport:
+        """Run the request stream to completion on the virtual clock.
+
+        ``requests`` may mix :class:`InferenceRequest` with
+        :class:`MutationRequest` (for graphs registered via
+        :meth:`register_graph`); events are processed in arrival order,
+        mutations first on timestamp ties.
+        """
         hits0, misses0 = self.cache.hits, self.cache.misses
         compile0, saved0 = self.cache.compile_s, self.cache.saved_s
         self.pool.reset()
         batcher = MicroBatcher(self.max_batch_size, self.max_wait_s)
+        mutation_counters = {
+            "mutations": 0, "patches": 0, "fallbacks": 0,
+            "patch_s": 0.0, "evictions": 0,
+        }
 
         programs: dict[tuple, CompiledProgram] = {}
         responses: list[InferenceResponse] = []
@@ -251,6 +393,9 @@ class InferenceServer:
         #: cache hit on a program whose miss is still compiling must wait
         #: for it (compiles from previous sweeps are long done)
         program_ready: dict[tuple, float] = {}
+        #: the host CPU is one resource: compiles and mutation patches
+        #: serialise against each other on the virtual clock
+        host = {"free": 0.0}
         #: (effective ready time, flush order, batch) of every closed
         #: batch; booking happens afterwards in ready order so a batch
         #: stuck waiting on a compile never blocks an idle device from
@@ -260,18 +405,34 @@ class InferenceServer:
         def dispatch(batch: MicroBatch, close_s: float) -> None:
             flushed.append((max(batch.ready_s, close_s), len(flushed), batch))
 
-        for req in sorted(requests, key=lambda r: r.arrival_s):
-            now = req.arrival_s
+        events = sorted(
+            requests,
+            key=lambda r: (r.arrival_s, isinstance(r, InferenceRequest)),
+        )
+        for event in events:
+            now = event.arrival_s
             # timer expiries strictly before this arrival fire first
             for stale in batcher.due(now):
                 dispatch(stale, batcher.deadline(stale))
+            if isinstance(event, MutationRequest):
+                self._apply_mutation(
+                    event, now, program_ready, host, mutation_counters
+                )
+                continue
+            req, graph_id = self._resolve(event)
             pkey = req.batch_key(self.config)
             prog_key = pkey[:-1]
             program, compile_s, hit = self.cache.get_or_compile(
                 prog_key, lambda: self._compile(req)
             )
             if not hit:
-                program_ready[prog_key] = now + compile_s
+                # the compile queues behind the host's in-flight work
+                host["free"] = max(now, host["free"]) + compile_s
+                program_ready[prog_key] = host["free"]
+            if graph_id is not None:
+                self._graph_keys[graph_id][prog_key] = (
+                    self._graphs[graph_id].version
+                )
             programs[pkey] = program
             compile_charges[req.request_id] = compile_s
             hit_flags[req.request_id] = hit
@@ -301,6 +462,7 @@ class InferenceServer:
             misses=self.cache.misses - misses0,
             compile_s=self.cache.compile_s - compile0,
             saved_s=self.cache.saved_s - saved0,
+            mutation_counters=mutation_counters,
         )
 
     # -- reporting ------------------------------------------------------
@@ -313,6 +475,7 @@ class InferenceServer:
         misses: int,
         compile_s: float,
         saved_s: float,
+        mutation_counters: dict | None = None,
     ) -> ServingReport:
         n = len(responses)
         if n:
@@ -357,6 +520,11 @@ class InferenceServer:
             device_busy_s=[float(b) for b in self.pool.busy],
             device_utilization=utilization,
             load_balance=self.pool.load_balance(),
+            num_mutations=(mutation_counters or {}).get("mutations", 0),
+            num_patches=(mutation_counters or {}).get("patches", 0),
+            num_patch_fallbacks=(mutation_counters or {}).get("fallbacks", 0),
+            patch_s=(mutation_counters or {}).get("patch_s", 0.0),
+            mutation_evictions=(mutation_counters or {}).get("evictions", 0),
             responses=responses,
         )
 
@@ -368,6 +536,7 @@ class InferenceServer:
         so calibrating on a server before its first ``serve`` sweep does
         not silently turn that sweep warm.
         """
+        request, _ = self._resolve(request)
         key = request.batch_key(self.config)
         program = self.cache.peek(key[:-1])
         if program is None:

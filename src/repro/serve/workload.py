@@ -24,7 +24,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.serve.request import InferenceRequest
+from repro.dyngraph.delta import random_delta
+from repro.serve.request import InferenceRequest, MutationRequest
 
 ARRIVAL_KINDS = ("poisson", "bursty", "steady")
 
@@ -142,3 +143,81 @@ def synthesize(
             )
         )
     return requests
+
+
+def churn_stream(
+    num_requests: int,
+    *,
+    graph,
+    models: Sequence[str] = ("GCN",),
+    strategies: Sequence[str] = ("Dynamic",),
+    mutation_every: int = 8,
+    edge_fraction: float = 0.005,
+    feature_updates: int = 0,
+    arrival: str = "poisson",
+    rate_rps: float = 1000.0,
+    seed: int = 0,
+) -> list:
+    """An interleaved infer/mutate stream against one dynamic graph.
+
+    Every ``mutation_every``-th arrival becomes a
+    :class:`~repro.serve.request.MutationRequest` carrying a random
+    delta that churns ``edge_fraction`` of the graph's *initial* edge
+    population (half inserts, half deletes, so nnz stays roughly
+    stationary) plus ``feature_updates`` point feature writes; the rest
+    are inference requests referencing the graph by id.  Deterministic:
+    the same seed yields bit-identical deltas and arrival times, which
+    is what lets the patch-vs-evict comparison replay one stream against
+    two servers.
+
+    ``graph`` is a :class:`~repro.dyngraph.mutable.MutableGraph` (only
+    its id and dimensions are read — the stream never mutates it;
+    mutations apply when the *server* processes them).
+    """
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    if mutation_every < 2:
+        raise ValueError("mutation_every must be >= 2 (streams need traffic)")
+    if arrival not in ARRIVAL_KINDS:
+        raise ValueError(f"arrival must be one of {ARRIVAL_KINDS}, got {arrival!r}")
+    if arrival == "poisson":
+        times = poisson_arrivals(num_requests, rate_rps, seed)
+    elif arrival == "bursty":
+        times = bursty_arrivals(num_requests, rate_rps, seed)
+    else:
+        times = steady_arrivals(num_requests, rate_rps)
+
+    n_changes = max(1, int(graph.nnz * edge_fraction / 2))
+    num_features = graph.snapshot().num_features
+    rng = np.random.default_rng(seed + 7)
+    combos = [(m, s) for m in models for s in strategies]
+    picks = rng.choice(len(combos), size=num_requests)
+
+    stream: list = []
+    for i, t in enumerate(times):
+        if i % mutation_every == mutation_every - 1:
+            stream.append(
+                MutationRequest(
+                    graph_id=graph.graph_id,
+                    delta=random_delta(
+                        graph.num_vertices,
+                        num_features,
+                        edge_inserts=n_changes,
+                        edge_deletes=n_changes,
+                        feature_updates=feature_updates,
+                        seed=seed + 31 * (i + 1),
+                    ),
+                    arrival_s=float(t),
+                )
+            )
+        else:
+            model, strategy = combos[int(picks[i])]
+            stream.append(
+                InferenceRequest(
+                    model=model,
+                    dataset=graph.graph_id,
+                    strategy=strategy,
+                    arrival_s=float(t),
+                )
+            )
+    return stream
