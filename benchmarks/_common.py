@@ -19,17 +19,9 @@ import os
 from dataclasses import dataclass
 from functools import lru_cache
 
-from repro import (
-    Accelerator,
-    Compiler,
-    RuntimeSystem,
-    build_model,
-    init_weights,
-    load_dataset,
-    make_strategy,
-    u250_default,
-)
-from repro.gnn import prune_weights
+from repro import Engine, load_dataset, u250_default
+from repro.config import AcceleratorConfig
+from repro.engine import ProgramHandle
 from repro.harness import format_table, geomean, sci, speedup_fmt, write_result
 from repro.runtime import end_to_end_seconds
 
@@ -79,17 +71,31 @@ def get_dataset(name: str, sweep: bool = False):
     return load_dataset(name, scale=scale, feature_dim=fdim, seed=42)
 
 
+def engine_for(config: AcceleratorConfig | None = None) -> Engine:
+    """One Engine per accelerator config: program cache + device pool
+    shared by every bench in the session (configs are frozen/hashable).
+    The default config is normalised before the cache lookup so
+    ``engine_for()`` and ``engine_for(u250_default())`` share an engine."""
+    return _engine_for(config or u250_default())
+
+
 @lru_cache(maxsize=None)
+def _engine_for(config: AcceleratorConfig) -> Engine:
+    return Engine(config, cache_capacity=256)
+
+
+@lru_cache(maxsize=None)
+def get_handle(model_name: str, ds_name: str, sparsity_pct: int = 0,
+               sweep: bool = False) -> ProgramHandle:
+    data = get_dataset(ds_name, sweep)
+    return engine_for().compile(
+        model_name, data, seed=7, prune=sparsity_pct / 100.0
+    )
+
+
 def get_program(model_name: str, ds_name: str, sparsity_pct: int = 0,
                 sweep: bool = False):
-    data = get_dataset(ds_name, sweep)
-    model = build_model(
-        model_name, data.num_features, data.hidden_dim, data.num_classes
-    )
-    weights = init_weights(model, seed=7)
-    if sparsity_pct:
-        weights = prune_weights(weights, sparsity_pct / 100.0)
-    return Compiler(u250_default()).compile(model, data, weights)
+    return get_handle(model_name, ds_name, sparsity_pct, sweep).program
 
 
 @dataclass(frozen=True)
@@ -118,9 +124,9 @@ class RunSummary:
 def run(model_name: str, ds_name: str, strategy: str, sparsity_pct: int = 0,
         sweep: bool = False) -> RunSummary:
     """Simulate one (model, dataset, strategy, weight-sparsity) cell."""
-    program = get_program(model_name, ds_name, sparsity_pct, sweep)
-    acc = Accelerator(program.config)
-    result = RuntimeSystem(acc, make_strategy(strategy, acc.config)).run(program)
+    handle = get_handle(model_name, ds_name, sparsity_pct, sweep)
+    program = handle.program
+    result = engine_for().infer(handle, strategy=strategy)
     from repro.hw.report import Primitive
 
     return RunSummary(
@@ -158,9 +164,11 @@ __all__ = [
     "FULL_SCALE",
     "RunSummary",
     "emit",
+    "engine_for",
     "format_table",
     "geomean",
     "get_dataset",
+    "get_handle",
     "get_program",
     "profile",
     "run",

@@ -5,21 +5,17 @@ checks that kernel makespans scale with core count until load balance or
 memory bandwidth saturates — the reason the eta constraint exists.
 """
 
-from _common import emit, format_table, get_dataset
-from repro import Accelerator, Compiler, RuntimeSystem, build_model, init_weights, make_strategy, u250_default
+from _common import emit, engine_for, format_table, get_dataset
+from repro import u250_default
 
 
 def sweep():
     data = get_dataset("PU")
-    model = build_model("GCN", data.num_features, data.hidden_dim,
-                        data.num_classes)
-    weights = init_weights(model, seed=7)
     out = []
     for cores in (1, 2, 4, 7, 8):
         cfg = u250_default().replace(num_cores=cores)
-        program = Compiler(cfg).compile(model, data, weights)
-        acc = Accelerator(cfg)
-        res = RuntimeSystem(acc, make_strategy("Dynamic", cfg)).run(program)
+        engine = engine_for(cfg)
+        res = engine.infer(engine.compile("GCN", data, seed=7))
         out.append((cores, res.latency_ms, res.load_balance()))
     return out
 
@@ -34,7 +30,7 @@ def test_ablation_cores(benchmark):
         title="A2: Computation Core scaling (GCN on PubMed)",
     )
     emit("ablation_cores", table)
-    lat = {c: l for c, l, _ in rows}
+    lat = {c: ms for c, ms, _ in rows}
     assert lat[7] < lat[1], "7 cores must beat 1 core"
     assert lat[4] <= lat[1], "4 cores must not lose to 1 core"
     # scaling is sub-linear (memory bandwidth is shared)

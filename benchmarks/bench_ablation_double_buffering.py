@@ -10,22 +10,18 @@ here.
 
 import dataclasses
 
-from _common import emit, format_table, get_dataset
-from repro import Accelerator, Compiler, RuntimeSystem, build_model, init_weights, make_strategy, u250_default
-from repro.config import BufferConfig
+from _common import emit, engine_for, format_table, get_dataset
+from repro import u250_default
 
 
 def run_with(double_buffering: bool):
     data = get_dataset("PU")
-    model = build_model("GCN", data.num_features, data.hidden_dim,
-                        data.num_classes)
     cfg = u250_default()
     cfg = cfg.replace(
         buffers=dataclasses.replace(cfg.buffers, double_buffering=double_buffering)
     )
-    program = Compiler(cfg).compile(model, data, init_weights(model, seed=7))
-    acc = Accelerator(cfg)
-    return RuntimeSystem(acc, make_strategy("Dynamic", cfg)).run(program)
+    engine = engine_for(cfg)
+    return engine.infer(engine.compile("GCN", data, seed=7))
 
 
 def test_ablation_double_buffering(benchmark):

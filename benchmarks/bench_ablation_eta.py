@@ -8,24 +8,21 @@ per-kernel load balance on a workload big enough for the constraint to
 bind.
 """
 
-from _common import emit, format_table, get_dataset
-from repro import Accelerator, Compiler, RuntimeSystem, build_model, init_weights, make_strategy, u250_default
+from _common import emit, engine_for, format_table, get_dataset
+from repro import u250_default
 
 
 def sweep():
     data = get_dataset("FL")
-    model = build_model("GCN", data.num_features, data.hidden_dim,
-                        data.num_classes)
-    weights = init_weights(model, seed=7)
     out = []
     for eta in (1, 2, 4, 8):
         cfg = u250_default().replace(eta=eta, min_partition_dim=64)
-        program = Compiler(cfg).compile(model, data, weights)
-        acc = Accelerator(cfg)
-        res = RuntimeSystem(acc, make_strategy("Dynamic", cfg)).run(program)
+        engine = engine_for(cfg)
+        handle = engine.compile("GCN", data, seed=7)
+        res = engine.infer(handle)
         out.append(
-            (eta, program.n1, program.n2, res.latency_ms, res.load_balance(),
-             res.num_tasks)
+            (eta, handle.program.n1, handle.program.n2, res.latency_ms,
+             res.load_balance(), res.num_tasks)
         )
     return out
 

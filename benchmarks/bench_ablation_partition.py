@@ -7,23 +7,20 @@ reloads; large partitions maximise locality but starve the cores.  The
 heuristic should land within a modest factor of the sweep's best point.
 """
 
-from _common import emit, format_table, get_dataset
-from repro import Accelerator, Compiler, RuntimeSystem, build_model, init_weights, make_strategy, u250_default
+from _common import emit, engine_for, format_table, get_dataset
+from repro import u250_default
 
 
 def sweep():
     data = get_dataset("PU")
-    model = build_model("GCN", data.num_features, data.hidden_dim,
-                        data.num_classes)
-    weights = init_weights(model, seed=7)
     rows = []
     for floor in (64, 128, 256, 512, 1024, 2048):
         cfg = u250_default().replace(min_partition_dim=floor)
-        program = Compiler(cfg).compile(model, data, weights)
-        acc = Accelerator(cfg)
-        res = RuntimeSystem(acc, make_strategy("Dynamic", cfg)).run(program)
+        engine = engine_for(cfg)
+        handle = engine.compile("GCN", data, seed=7)
+        res = engine.infer(handle)
         rows.append(
-            (floor, program.n1, program.n2, res.latency_ms,
+            (floor, handle.program.n1, handle.program.n2, res.latency_ms,
              res.overhead_fraction, res.num_pairs, res.load_balance())
         )
     return rows

@@ -7,31 +7,19 @@ CCs fit the U250.  This bench sweeps psys and reports latency, primitive
 mix and resource feasibility.
 """
 
-from _common import emit, format_table, get_dataset
-from repro import (
-    Accelerator,
-    Compiler,
-    RuntimeSystem,
-    build_model,
-    estimate_resources,
-    init_weights,
-    make_strategy,
-    u250_default,
-)
+from _common import emit, engine_for, format_table, get_dataset
+from repro import estimate_resources, u250_default
 from repro.hw.report import Primitive
 
 
 def sweep():
     data = get_dataset("CI")
-    model = build_model("GCN", data.num_features, data.hidden_dim,
-                        data.num_classes)
-    weights = init_weights(model, seed=7)
     rows = []
     for psys in (8, 16, 32):
         cfg = u250_default().replace(psys=psys)
-        program = Compiler(cfg).compile(model, data, weights)
-        acc = Accelerator(cfg)
-        res = RuntimeSystem(acc, make_strategy("Dynamic", cfg)).run(program)
+        engine = engine_for(cfg)
+        handle = engine.compile("GCN", data, seed=7)
+        res = engine.infer(handle)
         prims = res.primitive_totals
         fits = estimate_resources(cfg).fits
         rows.append(

@@ -1,0 +1,84 @@
+"""E1 — engine: the facade must be a zero-cost abstraction.
+
+``Engine.infer`` adds a registry lookup, a strategy construction and a
+dataclass hop on top of ``run_strategy``; against a simulation that takes
+milliseconds, that must be noise.  This bench times both paths on the
+same compiled program and the same simulated device (best-of-N, so
+scheduler jitter doesn't pollute the comparison) and asserts the facade
+costs <= 5% — the acceptance gate for routing every consumer (CLI,
+serving, benchmarks) through the engine.
+
+Runs two ways:
+
+- ``pytest benchmarks/bench_engine_overhead.py`` — the pytest-benchmark
+  harness, rendering a table under results/;
+- ``python benchmarks/bench_engine_overhead.py [--smoke]`` — standalone,
+  used by CI's benchmark smoke job (``--smoke`` uses the small config and
+  fewer repeats).
+"""
+
+import argparse
+import sys
+
+from _common import emit, format_table
+from repro.config import small_test_config, u250_default
+from repro.engine import measure_facade_overhead
+
+#: acceptance ceiling: the facade may cost at most 5% over run_strategy
+MAX_OVERHEAD = 0.05
+
+FULL = dict(model="GCN", dataset="PU", scale=1.0, repeats=9)
+#: runs are only a few ms on the small config, so take many repeats —
+#: best-of-N needs a quiet sample on both sides to measure ~us of facade
+SMOKE = dict(model="GCN", dataset="CO", scale=0.25, repeats=25)
+
+
+def _table(results) -> str:
+    return format_table(
+        ["model", "dataset", "strategy", "direct (ms)", "engine (ms)",
+         "overhead"],
+        [[r.model, r.dataset, r.strategy, f"{r.direct_s * 1e3:.3f}",
+          f"{r.engine_s * 1e3:.3f}", f"{r.overhead_fraction * 100:+.2f}%"]
+         for r in results],
+        title="E1: Engine facade overhead vs direct run_strategy",
+    )
+
+
+def test_engine_overhead(benchmark):
+    """Facade overhead <= 5% on the small config (best-of-N timing)."""
+    result = benchmark.pedantic(
+        lambda: measure_facade_overhead(**SMOKE, config=small_test_config()),
+        rounds=1, iterations=1,
+    )
+    emit("bench_engine_overhead", _table([result]))
+    assert result.overhead_fraction <= MAX_OVERHEAD, (
+        f"Engine.infer costs {result.overhead_fraction:.1%} over "
+        f"run_strategy (ceiling {MAX_OVERHEAD:.0%})"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small config + fewer repeats (CI smoke job)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        result = measure_facade_overhead(**SMOKE, config=small_test_config())
+    else:
+        result = measure_facade_overhead(**FULL, config=u250_default())
+    print(_table([result]))
+
+    if result.overhead_fraction > MAX_OVERHEAD:
+        print(f"\nFAIL: facade overhead {result.overhead_fraction:.1%} "
+              f"exceeds the {MAX_OVERHEAD:.0%} ceiling")
+        return 1
+    print(f"\nOK: facade overhead {result.overhead_fraction:+.2%} "
+          f"(ceiling {MAX_OVERHEAD:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,6 @@ Expected shape: speedup grows monotonically(ish) with weight sparsity —
 S1 executes Update as dense GEMM and cannot exploit any of it.
 """
 
-import numpy as np
 
 from _common import DATASETS, MODELS, emit, format_table, run, speedup_fmt
 

@@ -7,7 +7,7 @@ with weight sparsity (paper Table VIII: 1.38x -> 5.03x across bands).
 """
 
 from _common import DATASETS, MODELS, emit, run
-from bench_fig11_speedup_s1 import SPARSITIES, build_table, series
+from bench_fig11_speedup_s1 import build_table, series
 
 
 def test_fig12(benchmark):

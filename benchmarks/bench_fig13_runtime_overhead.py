@@ -43,13 +43,11 @@ def test_fig13_overhead_mostly_hidden(benchmark):
     the overhead must be a small fraction of the raw analysis time."""
 
     def check():
-        from _common import get_program
-        from repro import Accelerator, RuntimeSystem, make_strategy
+        from _common import engine_for, get_handle
 
-        program = get_program("GCN", "PU")
-        acc = Accelerator(program.config)
-        res = RuntimeSystem(acc, make_strategy("Dynamic", acc.config)).run(program)
-        raw_cycles = acc.soft_processor.seconds_to_accel_cycles(
+        engine = engine_for()
+        res = engine.infer(get_handle("GCN", "PU"))
+        raw_cycles = engine.device(0).soft_processor.seconds_to_accel_cycles(
             res.runtime_overhead_seconds
         )
         return res.exposed_overhead_cycles, raw_cycles

@@ -14,7 +14,7 @@ entries on NELL-GPU at full feature dimension.
 
 from _common import DATASETS, emit, format_table, geomean, get_dataset, run, sci, speedup_fmt
 from repro import build_model, init_weights
-from repro.baselines import FRAMEWORKS, framework_latency, measured_reference_seconds
+from repro.baselines import framework_latency, measured_reference_seconds
 
 FW_NAMES = ("PyG-CPU", "DGL-CPU", "PyG-GPU", "DGL-GPU")
 PAPER_GEOMEAN = {"PyG-CPU": 306.0, "DGL-CPU": 141.9, "PyG-GPU": 16.4, "DGL-GPU": 35.0}

@@ -5,7 +5,6 @@ measured the MicroBlaze): Algorithm 7's per-pair decision, plus the
 modelled soft-processor budget, plus the O(K)-vs-O(N^3) complexity claim.
 """
 
-import numpy as np
 
 from _common import emit, format_table
 from repro import u250_default

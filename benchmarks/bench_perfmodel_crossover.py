@@ -12,7 +12,6 @@ import scipy.sparse as sp
 
 from _common import emit, format_table
 from repro import u250_default
-from repro.config import AcceleratorConfig
 from repro.hw.gemm_unit import gemm_compute_cycles
 from repro.hw.report import Primitive
 from repro.hw.spdmm_unit import spdmm_compute_cycles

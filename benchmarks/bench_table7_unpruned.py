@@ -8,7 +8,6 @@ alongside for shape comparison; geometric means reproduce the "2.13x /
 1.59x average" claim's structure.
 """
 
-import pytest
 
 from _common import DATASETS, MODELS, emit, format_table, geomean, run, sci, speedup_fmt
 

@@ -3,11 +3,12 @@
 
 Walkthrough of the `repro.dyngraph` subsystem:
 
-1. wrap a dataset in a `MutableGraph` and compile it;
-2. apply a batched edge/feature delta and inspect its exact effect;
-3. patch the compiled program (no recompile) and verify the patched
-   program's inference output is bit-identical to a from-scratch
-   compile of the mutated graph;
+1. wrap a dataset in a `MutableGraph` and compile it through the
+   `Engine` facade;
+2. apply a batched edge/feature delta via `engine.mutate` and inspect
+   its exact effect;
+3. verify the patched program's inference output is bit-identical to a
+   from-scratch compile of the mutated graph;
 4. trigger the patcher's recompile fallback with an oversized delta;
 5. serve an interleaved infer/mutate stream with patch-instead-of-evict
    and compare against the evict policy.
@@ -17,7 +18,7 @@ import time
 
 import numpy as np
 
-from repro import Compiler, build_model, init_weights, load_dataset, run_strategy
+from repro import Compiler, Engine, init_weights, load_dataset
 from repro.dyngraph import (
     GraphDelta,
     MutableGraph,
@@ -26,20 +27,18 @@ from repro.dyngraph import (
     random_delta,
     warm_views,
 )
+from repro.runtime.executor import run_strategy
 from repro.serve import InferenceServer, churn_stream
 
 
 def main() -> None:
     # 1. a mutable graph: versioned, immutable snapshots ----------------
+    engine = Engine()
     graph = MutableGraph(load_dataset("CO"), graph_id="cora-live")
-    snapshot = graph.snapshot()
     print(f"graph: {graph}")
 
-    model = build_model("GCN", snapshot.num_features, snapshot.hidden_dim,
-                        snapshot.num_classes)
-    weights = init_weights(model, seed=0)
-    program = Compiler().compile(model, snapshot, weights)
-    warm_views(program)  # materialise the per-block density tables
+    handle = engine.compile("GCN", graph, seed=0)
+    warm_views(handle.program)  # materialise the per-block density tables
 
     # 2. a batched mutation: edge churn + a feature write ---------------
     delta = GraphDelta.edges(
@@ -47,37 +46,37 @@ def main() -> None:
         deletes=[(1, 2)],
         features=[(3, 10, 1.25)],           # H0[3, 10] = 1.25
     )
-    applied = graph.apply(delta)
+    report = engine.mutate(handle, delta)
+    applied = graph.log[-1]
     print(f"\napplied: {applied}")
     print(f"  touched vertices: {applied.touched_vertices.tolist()}")
     print(f"  nnz(A) delta: {applied.a_nnz_delta:+d}, "
           f"nnz(H0) delta: {applied.h_nnz_delta:+d}")
 
-    # 3. patch the program and prove exactness --------------------------
-    patcher = ProgramPatcher()
-    program, report = patcher.patch(program, graph.snapshot(), applied)
+    # 3. the handle now holds the patched program: prove exactness ------
     print(f"\npatch: {report.wall_s * 1e3:.2f} ms wall "
           f"({report.dirty_blocks} dirty blocks, "
           f"{report.reanalyzed_pairs} K2P re-decisions, "
           f"{report.decision_flips} flips)")
 
+    weights = init_weights(handle.model, seed=0)
     t0 = time.perf_counter()
-    fresh = Compiler().compile(model, graph.snapshot(), weights)
+    fresh = Compiler().compile(handle.model, graph.snapshot(), weights)
     warm_views(fresh)
     print(f"full recompile for comparison: "
           f"{(time.perf_counter() - t0) * 1e3:.2f} ms wall")
 
-    out_patched = run_strategy(program, "Dynamic").output_dense()
+    out_patched = engine.infer(handle, strategy="Dynamic").output_dense()
     out_fresh = run_strategy(fresh, "Dynamic").output_dense()
     assert np.array_equal(out_patched, out_fresh)
     print("patched inference output == from-scratch compile (bit-exact)")
 
     # 4. the fallback heuristic -----------------------------------------
-    big = random_delta(graph.num_vertices, snapshot.num_features,
+    big = random_delta(graph.num_vertices, graph.snapshot().num_features,
                        edge_inserts=400, edge_deletes=400, seed=1)
     applied = graph.apply(big)
     strict = ProgramPatcher(PatchPolicy(max_edge_fraction=0.01))
-    program, report = strict.patch(program, graph.snapshot(), applied)
+    _, report = strict.patch(handle.program, graph.snapshot(), applied)
     print(f"\noversized delta -> patched={report.patched} "
           f"(reason: {report.reason})")
 

@@ -6,23 +6,22 @@ a GPU model, SpDMM/SPMM on the simulated FPGA, K2P control flow on the
 host — against FPGA-only execution, across the dataset sparsity spectrum.
 """
 
-from repro import Compiler, build_model, init_weights, load_dataset
+from repro import Engine
 from repro.harness import format_table, speedup_fmt
-from repro.hetero import HeterogeneousRuntime
 
 CONFIGS = [("CI", 0.5), ("PU", 0.5), ("FL", 0.1), ("RE", 0.02)]
 
 
 def main() -> None:
-    rt = HeterogeneousRuntime()
+    engine = Engine()
+    # the "hetero" backend prices GEMM pairs on the GPU model and sparse
+    # pairs on the FPGA; its runtime also offers the FPGA-only baseline
+    rt = engine.backend("hetero").runtime
     rows = []
     for ds, scale in CONFIGS:
-        data = load_dataset(ds, scale=scale)
-        model = build_model("GCN", data.num_features, data.hidden_dim,
-                            data.num_classes)
-        program = Compiler().compile(model, data, init_weights(model, seed=0))
-        het = rt.run(program)
-        fpga = rt.run_fpga_only(program)
+        handle = engine.compile("GCN", ds, scale=scale, seed=0)
+        het = engine.infer(handle, backend="hetero")
+        fpga = rt.run_fpga_only(handle.program)
         rows.append([
             f"{ds} (x{scale})",
             f"{fpga.latency_ms:.4f}",

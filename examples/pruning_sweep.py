@@ -7,16 +7,7 @@ Dynamic mapping's speedup growing with sparsity — static mappings cannot
 exploit pruning at all (S1) or only partially (S2).
 """
 
-from repro import (
-    Accelerator,
-    Compiler,
-    RuntimeSystem,
-    build_model,
-    init_weights,
-    load_dataset,
-    make_strategy,
-    prune_weights,
-)
+from repro import Engine
 from repro.harness import format_table, speedup_fmt
 from repro.hw.report import Primitive
 
@@ -24,21 +15,15 @@ SPARSITIES = (0.0, 0.3, 0.5, 0.7, 0.9, 0.95)
 
 
 def main() -> None:
-    data = load_dataset("CI")
-    model = build_model("GCN", data.num_features, data.hidden_dim,
-                        data.num_classes)
-    base_weights = init_weights(model, seed=0)
+    engine = Engine()
 
     rows = []
     for sparsity in SPARSITIES:
-        weights = prune_weights(base_weights, sparsity)
-        program = Compiler().compile(model, data, weights)
-        res = {}
-        for strat in ("S1", "S2", "Dynamic"):
-            acc = Accelerator(program.config)
-            res[strat] = RuntimeSystem(
-                acc, make_strategy(strat, acc.config)
-            ).run(program)
+        handle = engine.compile("GCN", "CI", seed=0, prune=sparsity)
+        res = {
+            strat: engine.infer(handle, strategy=strat)
+            for strat in ("S1", "S2", "Dynamic")
+        }
         dyn = res["Dynamic"]
         prims = dyn.primitive_totals
         rows.append([

@@ -2,23 +2,15 @@
 """Quickstart: run GCN inference on a Cora-like graph with dynamic K2P mapping.
 
 Builds a 2-layer GCN, compiles it for the simulated Alveo U250
-accelerator, runs the Dynasparse runtime with dynamic kernel-to-primitive
-mapping, verifies the output against the NumPy reference, and prints the
-latency breakdown and the primitive decisions the Analyzer made.
+accelerator through the :class:`repro.Engine` facade, runs the Dynasparse
+runtime with dynamic kernel-to-primitive mapping, verifies the output
+against the NumPy reference, and prints the latency breakdown and the
+primitive decisions the Analyzer made.
 """
 
 import numpy as np
 
-from repro import (
-    Accelerator,
-    Compiler,
-    RuntimeSystem,
-    build_model,
-    init_weights,
-    load_dataset,
-    make_strategy,
-    reference_inference,
-)
+from repro import Engine, init_weights, load_dataset, reference_inference
 
 
 def main() -> None:
@@ -26,23 +18,20 @@ def main() -> None:
     data = load_dataset("CO")
     print(f"dataset: {data}")
 
-    # 2. define the model, PyG-style dims: features -> hidden -> classes
-    model = build_model("GCN", data.num_features, data.hidden_dim,
-                        data.num_classes)
-    weights = init_weights(model, seed=0)
-
-    # 3. compile: IR generation, Algorithm 9 partitioning, sparsity profiling
-    program = Compiler().compile(model, data, weights)
-    print(program.describe())
-    print(f"compile time: {program.timings.total_ms:.2f} ms\n")
+    # 2+3. compile: model building, IR generation, Algorithm 9
+    # partitioning, sparsity profiling — one facade call, cached per
+    # (model, graph, config) fingerprint
+    engine = Engine()
+    handle = engine.compile("GCN", data, seed=0)
+    print(handle.program.describe())
+    print(f"compile time: {handle.program.timings.total_ms:.2f} ms\n")
 
     # 4. execute on the simulated accelerator with dynamic K2P mapping
-    acc = Accelerator(program.config)
-    runtime = RuntimeSystem(acc, make_strategy("Dynamic", acc.config))
-    result = runtime.run(program)
+    result = engine.infer(handle, strategy="Dynamic")
 
     # 5. verify against the reference implementation
-    ref = reference_inference(model, data.a, data.h0, weights)
+    weights = init_weights(handle.model, seed=0)
+    ref = reference_inference(handle.model, data.a, data.h0, weights)
     err = np.abs(result.output_dense() - ref).max()
     print(f"accelerator latency : {result.latency_ms * 1e3:.1f} us")
     print(f"runtime overhead    : {result.overhead_fraction * 100:.1f}% (hidden)")

@@ -7,31 +7,19 @@ memory-bound — the regime split that decides where dynamic mapping can
 win — and (c) a per-kernel attribution of the SO-S1 speedup.
 """
 
-from repro import (
-    Accelerator,
-    Compiler,
-    RuntimeSystem,
-    build_model,
-    init_weights,
-    load_dataset,
-    make_strategy,
-)
+from repro import Engine
 from repro.analysis import classify_kernels, render_gantt
 from repro.analysis.compare import format_comparison
 
 
 def main() -> None:
-    data = load_dataset("PU")
-    model = build_model("GCN", data.num_features, data.hidden_dim,
-                        data.num_classes)
-    program = Compiler().compile(model, data, init_weights(model, seed=0))
+    engine = Engine()
+    handle = engine.compile("GCN", "PU", seed=0)
 
-    results = {}
-    for strat in ("Dynamic", "S1"):
-        acc = Accelerator(program.config)
-        results[strat] = RuntimeSystem(
-            acc, make_strategy(strat, acc.config)
-        ).run(program)
+    results = {
+        strat: engine.infer(handle, strategy=strat)
+        for strat in ("Dynamic", "S1")
+    }
 
     dyn = results["Dynamic"]
     print(dyn.format_report())

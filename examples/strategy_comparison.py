@@ -6,15 +6,7 @@ strategies the paper compares, and prints latency plus the SO-S1 / SO-S2
 speedups.  This is the headline experiment of the paper at example scale.
 """
 
-from repro import (
-    Accelerator,
-    Compiler,
-    RuntimeSystem,
-    build_model,
-    init_weights,
-    load_dataset,
-    make_strategy,
-)
+from repro import Engine
 from repro.harness import format_table, geomean, sci, speedup_fmt
 
 DATASETS = ("CI", "CO", "PU")
@@ -22,21 +14,16 @@ MODELS = ("GCN", "GraphSAGE", "GIN", "SGC")
 
 
 def main() -> None:
+    engine = Engine()
     all_s1, all_s2 = [], []
     for model_name in MODELS:
         rows = []
         for ds in DATASETS:
-            data = load_dataset(ds)
-            model = build_model(model_name, data.num_features,
-                                data.hidden_dim, data.num_classes)
-            program = Compiler().compile(model, data,
-                                         init_weights(model, seed=0))
-            res = {}
-            for strat in ("S1", "S2", "Dynamic"):
-                acc = Accelerator(program.config)
-                res[strat] = RuntimeSystem(
-                    acc, make_strategy(strat, acc.config)
-                ).run(program)
+            handle = engine.compile(model_name, ds, seed=0)
+            res = {
+                strat: engine.infer(handle, strategy=strat)
+                for strat in ("S1", "S2", "Dynamic")
+            }
             so_s1 = res["S1"].total_cycles / res["Dynamic"].total_cycles
             so_s2 = res["S2"].total_cycles / res["Dynamic"].total_cycles
             all_s1.append(so_s1)

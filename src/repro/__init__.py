@@ -11,23 +11,34 @@ figures.
 
 Quickstart::
 
-    from repro import (
-        Accelerator, Compiler, RuntimeSystem, build_model, init_weights,
-        load_dataset, make_strategy,
-    )
+    from repro import Engine
 
-    data = load_dataset("CO")
-    model = build_model("GCN", data.num_features, data.hidden_dim,
-                        data.num_classes)
-    program = Compiler().compile(model, data, init_weights(model))
-    acc = Accelerator(program.config)
-    result = RuntimeSystem(acc, make_strategy("Dynamic", acc.config)).run(program)
+    engine = Engine()
+    handle = engine.compile("GCN", "CO")
+    result = engine.infer(handle)
     print(f"{result.latency_ms:.3f} ms", result.primitive_totals)
+
+The engine caches compiled programs, owns the simulated device pool, and
+executes through a pluggable backend registry — ``engine.infer(handle,
+backend="hetero")`` prices the same program on the §IX CPU+GPU+FPGA
+platform, ``backend="cpu"``/``"gpu"`` on the Fig. 14 framework rooflines.
+Mutating workloads go through ``engine.mutate(handle, delta)`` and
+serving traffic through ``engine.serve(requests)``.  See MIGRATION.md
+for the mapping from the legacy ``Compiler``/``RuntimeSystem`` wiring.
 """
+
+import warnings as _warnings
 
 from repro.config import AcceleratorConfig, u250_default, small_test_config
 from repro.compiler import Compiler, CompiledProgram
 from repro.datasets import DATASET_NAMES, GraphData, TABLE_VI, load_dataset
+from repro.engine import (
+    Engine,
+    ExecutionBackend,
+    ProgramHandle,
+    backend_names,
+    register_backend,
+)
 from repro.gnn import (
     MODEL_NAMES,
     ModelSpec,
@@ -39,11 +50,9 @@ from repro.gnn import (
 from repro.hw import Accelerator, Primitive, estimate_resources
 from repro.runtime import (
     InferenceResult,
-    RuntimeSystem,
     end_to_end_seconds,
     make_strategy,
 )
-from repro.runtime.executor import run_strategy
 from repro.dyngraph import GraphDelta, MutableGraph, ProgramPatcher
 from repro.serve import (
     InferenceRequest,
@@ -53,7 +62,46 @@ from repro.serve import (
     ServingReport,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: legacy top-level entry points -> (module, attribute, replacement hint).
+#: Accessing them still works but warns once per process: the Engine
+#: facade owns program caching, device wiring and strategy selection now.
+_DEPRECATED_ENTRY_POINTS = {
+    "run_strategy": (
+        "repro.runtime.executor", "run_strategy",
+        "Engine().compile(...) + Engine.infer(handle, strategy=...)",
+    ),
+    "RuntimeSystem": (
+        "repro.runtime.executor", "RuntimeSystem",
+        "Engine.infer (or repro.runtime.RuntimeSystem for low-level use)",
+    ),
+}
+#: names already warned about (deprecation shims warn exactly once)
+_warned_deprecations: set = set()
+
+
+def __getattr__(name: str):
+    entry = _DEPRECATED_ENTRY_POINTS.get(name)
+    if entry is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module_name, attr, replacement = entry
+    if name not in _warned_deprecations:
+        _warned_deprecations.add(name)
+        _warnings.warn(
+            f"repro.{name} is deprecated; use {replacement} instead "
+            f"(see MIGRATION.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_DEPRECATED_ENTRY_POINTS))
+
 
 __all__ = [
     "AcceleratorConfig",
@@ -74,6 +122,11 @@ __all__ = [
     "Accelerator",
     "Primitive",
     "estimate_resources",
+    "Engine",
+    "ExecutionBackend",
+    "ProgramHandle",
+    "backend_names",
+    "register_backend",
     "GraphDelta",
     "InferenceResult",
     "InferenceRequest",

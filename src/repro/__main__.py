@@ -3,21 +3,27 @@
 Gives downstream users the paper's core experiment without writing code:
 
     python -m repro run --model GCN --dataset CO --strategy Dynamic
+    python -m repro run --dataset RE --backend hetero
     python -m repro compare --model GCN --dataset CI
     python -m repro resources
     python -m repro datasets
     python -m repro serve-bench --pool 4 --requests 200 --arrival poisson
     python -m repro dyngraph-bench --dataset PU --edge-fraction 0.01
+    python -m repro engine-bench --repeats 9
 
-Latency, primitive histogram and overhead are printed in the paper's
-units; ``compare`` reproduces one cell of Table VII.  ``serve-bench``
-drives the :mod:`repro.serve` subsystem: it replays a synthetic request
-stream through the batched multi-accelerator server four times — cold
-then warm (program cache populated) on one device, cold then warm on
-``--pool`` devices — and
+Every subcommand drives the :class:`~repro.engine.core.Engine` facade —
+the same entry point library users get — so the CLI exercises the
+production path, not a parallel wiring.  Latency, primitive histogram and
+overhead are printed in the paper's units; ``compare`` reproduces one
+cell of Table VII; ``run --backend cpu|gpu|hetero`` prices the program on
+the analytical backends instead of the cycle-accurate simulator.
+``serve-bench`` replays a synthetic request stream through the batched
+multi-accelerator server four times — cold then warm (program cache
+populated) on one device, cold then warm on ``--pool`` devices — and
 prints each sweep's :class:`~repro.serve.server.ServingReport` —
 throughput, latency percentiles, queueing delay, cache hit rate and
-per-device utilization — plus a scaling/caching summary.
+per-device utilization — plus a scaling/caching summary.  ``engine-bench``
+measures the facade's own overhead against bare ``run_strategy``.
 """
 
 from __future__ import annotations
@@ -26,39 +32,55 @@ import argparse
 import sys
 
 from repro import (
-    Compiler,
-    build_model,
+    Engine,
+    backend_names,
     estimate_resources,
-    init_weights,
-    load_dataset,
     make_strategy,
-    run_strategy,
     u250_default,
 )
 from repro.datasets import DATASET_NAMES, TABLE_VI
-from repro.gnn import MODEL_NAMES, prune_weights
+from repro.gnn import MODEL_NAMES
 from repro.harness import format_table, sci, speedup_fmt
 from repro.serve import ARRIVAL_KINDS, InferenceRequest, InferenceServer, synthesize
 
 
-def _build(args):
-    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    model = build_model(args.model, data.num_features, data.hidden_dim,
-                        data.num_classes)
-    weights = init_weights(model, seed=args.seed)
-    if args.prune > 0:
-        weights = prune_weights(weights, args.prune)
-    program = Compiler(u250_default()).compile(model, data, weights)
-    return data, model, program
+def _compile(args, engine: Engine):
+    return engine.compile(
+        args.model, args.dataset, scale=args.scale, seed=args.seed,
+        prune=args.prune,
+    )
 
 
 def cmd_run(args) -> int:
-    data, model, program = _build(args)
-    result = run_strategy(program, args.strategy)
-    print(f"{model.name} on {data.name} (scale {data.scale}), "
-          f"strategy {args.strategy}:")
+    from repro.baselines.cpu_gpu import OutOfMemoryError
+
+    engine = Engine(u250_default())
+    handle = _compile(args, engine)
+    try:
+        result = engine.infer(handle, strategy=args.strategy,
+                              backend=args.backend)
+    except OutOfMemoryError as exc:
+        # the paper's N/A cells (e.g. NELL on PyG-GPU): a clean CLI
+        # error, not a traceback
+        raise SystemExit(f"run: {exc}")
+    print(f"{handle.model_name} on {handle.data_name} "
+          f"(scale {handle.data.scale}), strategy {args.strategy}, "
+          f"backend {args.backend}:")
     print(f"  latency           : {sci(result.latency_ms)} ms")
-    print(f"  kernels/tasks/pairs: {program.num_kernels}/"
+    if args.backend != "simulated":
+        # analytical backends price the schedule; only the simulator
+        # carries per-kernel cycle accounting
+        if hasattr(result, "device_seconds"):
+            per_dev = ", ".join(
+                f"{d}: {s * 1e3:.4f} ms" for d, s in result.device_seconds.items()
+            )
+            print(f"  device seconds    : {per_dev}")
+            print(f"  primitives        : "
+                  f"{ {p.value: c for p, c in result.primitive_counts.items()} }")
+        if hasattr(result, "framework"):
+            print(f"  framework model   : {result.framework}")
+        return 0
+    print(f"  kernels/tasks/pairs: {handle.program.num_kernels}/"
           f"{result.num_tasks}/{result.num_pairs}")
     print(f"  primitives        : "
           f"{ {p.value: c for p, c in result.primitive_totals.items()} }")
@@ -68,9 +90,11 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    data, model, program = _build(args)
+    engine = Engine(u250_default())
+    handle = _compile(args, engine)
     results = {
-        strat: run_strategy(program, strat) for strat in ("S1", "S2", "Dynamic")
+        strat: engine.infer(handle, strategy=strat)
+        for strat in ("S1", "S2", "Dynamic")
     }
     dyn = results["Dynamic"]
     rows = [
@@ -80,8 +104,28 @@ def cmd_compare(args) -> int:
     ]
     print(format_table(
         ["strategy", "latency (ms)", "vs Dynamic"],
-        rows, title=f"{model.name} on {data.name} (Table VII cell)",
+        rows, title=f"{handle.model_name} on {handle.data_name} "
+                    f"(Table VII cell)",
     ))
+    return 0
+
+
+def cmd_engine_bench(args) -> int:
+    from repro.config import small_test_config
+    from repro.engine.overhead import measure_facade_overhead
+
+    if args.repeats < 1:
+        raise SystemExit("engine-bench: --repeats must be >= 1")
+    config = u250_default() if args.full_config else small_test_config()
+    result = measure_facade_overhead(
+        model=args.model,
+        dataset=args.dataset,
+        scale=args.scale,
+        strategy=args.strategy,
+        repeats=args.repeats,
+        config=config,
+    )
+    print(result.format_report())
     return 0
 
 
@@ -124,10 +168,12 @@ def cmd_serve_bench(args) -> int:
     max_wait_s = args.max_wait_ms * 1e-3
 
     def new_server(pool_size: int) -> InferenceServer:
+        # each sweep family gets its own engine (cache + device pool);
+        # the server is a serving front-end over it
+        engine = Engine(config, pool_size=pool_size,
+                        cache_capacity=args.cache)
         return InferenceServer(
-            config,
-            pool_size=pool_size,
-            cache_capacity=args.cache,
+            engine=engine,
             max_batch_size=args.max_batch,
             max_wait_s=max_wait_s,
             return_outputs=False,
@@ -311,6 +357,9 @@ def main(argv=None) -> int:
     common(p_run)
     p_run.add_argument("--strategy", default="Dynamic",
                        help="Dynamic | S1 | S2 | Oracle | Fixed-<prim>")
+    p_run.add_argument("--backend", choices=backend_names(),
+                       default="simulated",
+                       help="execution backend from the engine registry")
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="S1 vs S2 vs Dynamic")
@@ -368,6 +417,21 @@ def main(argv=None) -> int:
     p_dyn.add_argument("--pool", type=int, default=2)
     p_dyn.add_argument("--seed", type=int, default=0)
     p_dyn.set_defaults(func=cmd_dyngraph_bench)
+
+    p_eng = sub.add_parser(
+        "engine-bench",
+        help="measure Engine facade overhead vs direct run_strategy",
+    )
+    p_eng.add_argument("--model", choices=MODEL_NAMES, default="GCN")
+    p_eng.add_argument("--dataset", choices=DATASET_NAMES, default="CO")
+    p_eng.add_argument("--scale", type=float, default=0.25)
+    p_eng.add_argument("--strategy", default="Dynamic")
+    p_eng.add_argument("--repeats", type=int, default=9,
+                       help="best-of-N timing repeats")
+    p_eng.add_argument("--full-config", action="store_true",
+                       help="use the U250 config instead of the small "
+                            "test config")
+    p_eng.set_defaults(func=cmd_engine_bench)
 
     p_res = sub.add_parser("resources", help="Fig. 9 resource table")
     p_res.set_defaults(func=cmd_resources)

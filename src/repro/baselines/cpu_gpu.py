@@ -25,7 +25,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import scipy.sparse as sp
 
 from repro.baselines.platforms import PLATFORMS, PlatformSpec
 from repro.datasets.catalog import GraphData

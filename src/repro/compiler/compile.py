@@ -24,7 +24,6 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-import numpy as np
 
 from repro.config import AcceleratorConfig, u250_default
 from repro.compiler.parser import parse_model

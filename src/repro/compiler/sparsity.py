@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.formats.density import density as matrix_density
 from repro.formats.density import nnz_count, num_elements
 from repro.formats.partition import SPARSE_STORAGE_THRESHOLD, PartitionedMatrix
 

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 import scipy.sparse as sp
 
 from repro.datasets.features import sparse_features

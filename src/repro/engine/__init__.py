@@ -1,0 +1,79 @@
+"""Unified Session/Engine facade over the Dynasparse stack (`repro.engine`).
+
+One object — :class:`~repro.engine.core.Engine` — owns the program cache,
+the simulated-device pool, strategy selection and the graph registry, and
+executes through a pluggable :class:`~repro.engine.backends.ExecutionBackend`
+registry (``"simulated"`` cycle-accurate FPGA, ``"cpu"``/``"gpu"``
+roofline baselines, ``"hetero"`` CPU+GPU+FPGA what-if).  The serving and
+dynamic-graph subsystems compose it instead of wiring caches, pools and
+patchers themselves.
+
+Quickstart::
+
+    from repro.engine import Engine
+
+    engine = Engine()                          # simulated U250, 1 device
+    handle = engine.compile("GCN", "CO")       # cached per fingerprint
+    result = engine.infer(handle)              # InferenceResult
+    print(f"{result.latency_ms:.3f} ms", result.primitive_totals)
+    print(engine.infer(handle, backend="hetero").latency_ms)
+"""
+
+from repro.engine.backends import (
+    BACKEND_NAMES,
+    CpuBackend,
+    ExecutionBackend,
+    GpuBackend,
+    HeteroBackend,
+    RooflineResult,
+    SimulatedBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.engine.cache import CacheStats, ProgramCache
+from repro.engine.core import (
+    MUTATION_POLICIES,
+    Engine,
+    MutationOutcome,
+    PatchEvent,
+    ProgramHandle,
+)
+from repro.engine.keys import (
+    config_fingerprint,
+    dataset_fingerprint,
+    graph_content_digest,
+    model_fingerprint,
+    program_key,
+)
+from repro.engine.overhead import OverheadResult, measure_facade_overhead
+from repro.engine.pool import AcceleratorPool, DispatchEvent
+
+__all__ = [
+    "BACKEND_NAMES",
+    "MUTATION_POLICIES",
+    "AcceleratorPool",
+    "CacheStats",
+    "CpuBackend",
+    "DispatchEvent",
+    "Engine",
+    "ExecutionBackend",
+    "GpuBackend",
+    "HeteroBackend",
+    "MutationOutcome",
+    "OverheadResult",
+    "PatchEvent",
+    "ProgramCache",
+    "ProgramHandle",
+    "RooflineResult",
+    "SimulatedBackend",
+    "backend_names",
+    "config_fingerprint",
+    "dataset_fingerprint",
+    "get_backend",
+    "graph_content_digest",
+    "measure_facade_overhead",
+    "model_fingerprint",
+    "program_key",
+    "register_backend",
+]

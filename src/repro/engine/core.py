@@ -1,0 +1,499 @@
+"""The ``Engine`` facade: one entry point over compile, infer, mutate, serve.
+
+Before this module existed every caller hand-assembled ``Compiler`` ->
+``Accelerator`` -> ``make_strategy`` -> ``RuntimeSystem``, and the
+serving, dynamic-graph and benchmark layers each re-implemented that
+choreography with their own caching and device wiring.  The engine owns
+those resources once:
+
+- the **program cache** (:class:`~repro.engine.cache.ProgramCache`) —
+  compile once per distinct (model, graph, config) fingerprint;
+- the **device pool** (:class:`~repro.engine.pool.AcceleratorPool`) —
+  N simulated accelerators on a shared virtual clock;
+- **strategy selection** — mapping strategies resolved by paper label
+  through :func:`~repro.runtime.strategies.make_strategy`;
+- **graph registry + patcher** — registered
+  :class:`~repro.dyngraph.mutable.MutableGraph` instances and the
+  :class:`~repro.dyngraph.patcher.ProgramPatcher` that keeps cached
+  programs valid under mutation;
+- the **backend registry** (:mod:`repro.engine.backends`) — the
+  simulated FPGA, CPU/GPU rooflines and the heterogeneous executor
+  behind one ``ExecutionBackend`` interface.
+
+Quickstart::
+
+    from repro.engine import Engine
+
+    engine = Engine()
+    handle = engine.compile("GCN", "CO")
+    result = engine.infer(handle)              # cycle-accurate simulator
+    estimate = engine.infer(handle, backend="gpu")   # roofline what-if
+
+The serving front-end (:class:`~repro.serve.server.InferenceServer`)
+composes an engine rather than owning its own cache/pool plumbing, and
+``engine.serve(workload)`` is the one-call path to it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.compiler.compile import CompiledProgram, Compiler
+from repro.config import AcceleratorConfig, u250_default
+from repro.datasets.catalog import GraphData, load_dataset
+from repro.dyngraph.delta import AppliedDelta, GraphDelta
+from repro.dyngraph.mutable import MutableGraph
+from repro.dyngraph.patcher import PatchPolicy, PatchReport, ProgramPatcher
+from repro.engine.backends import ExecutionBackend, get_backend
+from repro.engine.cache import ProgramCache
+from repro.engine.keys import dataset_fingerprint, program_key
+from repro.engine.pool import AcceleratorPool
+from repro.gnn.models import ModelSpec, build_model, init_weights
+from repro.gnn.pruning import prune_weights
+from repro.hw.accelerator import Accelerator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.request import InferenceRequest
+    from repro.serve.server import ServingReport
+
+__all__ = [
+    "Engine",
+    "MUTATION_POLICIES",
+    "MutationOutcome",
+    "PatchEvent",
+    "ProgramHandle",
+]
+
+#: what happens to cached programs when their graph mutates: "patch"
+#: re-keys them through the ProgramPatcher, "evict" invalidates them
+#: (the next request pays a full recompile)
+MUTATION_POLICIES = ("patch", "evict")
+
+
+@dataclass
+class ProgramHandle:
+    """A compiled program plus everything needed to run or mutate it.
+
+    Returned by :meth:`Engine.compile`; pass it to :meth:`Engine.infer`
+    and :meth:`Engine.mutate`.  ``key`` is the program-cache fingerprint
+    (``None`` for uncacheable compiles, e.g. with explicit weights);
+    ``graph_id``/``graph_version`` bind the handle to a registered
+    :class:`~repro.dyngraph.mutable.MutableGraph` when it was compiled
+    from one.
+    """
+
+    program: CompiledProgram
+    model: ModelSpec
+    data: GraphData
+    key: Optional[tuple]
+    seed: int = 0
+    prune: float = 0.0
+    #: compile seconds charged (0.0 on a program-cache hit)
+    compile_s: float = 0.0
+    cache_hit: bool = False
+    graph_id: Optional[str] = None
+    graph_version: Optional[int] = None
+
+    @property
+    def model_name(self) -> str:
+        return self.model.name
+
+    @property
+    def data_name(self) -> str:
+        return self.data.name
+
+
+@dataclass(frozen=True)
+class PatchEvent:
+    """One cached program re-keyed by a mutation."""
+
+    old_key: tuple
+    new_key: tuple
+    report: PatchReport
+
+
+@dataclass
+class MutationOutcome:
+    """Everything one applied delta did to the engine's cached state."""
+
+    applied: AppliedDelta
+    patches: list[PatchEvent] = field(default_factory=list)
+    evictions: int = 0
+
+    @property
+    def structural(self) -> bool:
+        """Did the delta actually change the graph (bump its version)?"""
+        return self.applied.version_to != self.applied.version_from
+
+
+class Engine:
+    """Unified session over compilation, execution, mutation and serving."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig | None = None,
+        *,
+        backend: str = "simulated",
+        pool_size: int = 1,
+        cache_capacity: int = 64,
+        patch_policy: PatchPolicy | None = None,
+    ) -> None:
+        get_backend(backend)  # fail fast, listing the valid names
+        self.config = config or u250_default()
+        self.default_backend = backend
+        self.cache = ProgramCache(cache_capacity)
+        self.pool = AcceleratorPool(self.config, pool_size)
+        self.patcher = ProgramPatcher(patch_policy)
+        #: registered dynamic graphs: graph_id -> MutableGraph
+        self._graphs: dict[str, MutableGraph] = {}
+        #: program-cache keys backed by each dynamic graph, mapped to the
+        #: graph version they were compiled against (re-keyed on every
+        #: mutation; a version mismatch means the graph was mutated
+        #: out-of-band and the entry can only be evicted, not patched)
+        self._graph_keys: dict[str, dict[tuple, int]] = {}
+        #: loaded datasets, LRU-bounded alongside the program cache
+        self._datasets: OrderedDict[tuple, GraphData] = OrderedDict()
+        self._backends: dict[str, ExecutionBackend] = {}
+        self._servers: dict[tuple, object] = {}
+
+    # -- backends -------------------------------------------------------
+    def backend(self, name: str | None = None) -> ExecutionBackend:
+        """The engine's instance of a registered backend (default: the
+        engine's ``default_backend``).  Instantiated lazily, once each."""
+        name = name or self.default_backend
+        instance = self._backends.get(name)
+        if instance is None:
+            instance = get_backend(name)(self)
+            self._backends[name] = instance
+        return instance
+
+    def device(self, index: int = 0) -> Accelerator:
+        """A simulated accelerator from the engine's pool."""
+        return self.pool.devices[index]
+
+    # -- graphs ---------------------------------------------------------
+    def register_graph(self, graph: MutableGraph) -> str:
+        """Register a mutable graph so it can be referenced by id (as a
+        request's ``dataset`` or a compile target) and mutated through
+        :meth:`mutate` / :meth:`apply_delta`."""
+        existing = self._graphs.get(graph.graph_id)
+        if existing is not None and existing is not graph:
+            raise ValueError(f"graph id {graph.graph_id!r} already registered")
+        self._graphs[graph.graph_id] = graph
+        self._graph_keys.setdefault(graph.graph_id, {})
+        return graph.graph_id
+
+    def load_graph(
+        self,
+        dataset: Union[str, GraphData, MutableGraph],
+        *,
+        scale: float | None = None,
+        seed: int = 0,
+    ) -> GraphData:
+        """Resolve a dataset reference to concrete ``GraphData``.
+
+        Accepts a catalog name (LRU-cached load), an already-loaded
+        graph (returned as-is), a registered graph id, or a
+        :class:`MutableGraph` (registered as a side effect; its current
+        snapshot is returned).
+        """
+        if isinstance(dataset, MutableGraph):
+            self.register_graph(dataset)
+            return dataset.snapshot()
+        if isinstance(dataset, GraphData):
+            return dataset
+        if dataset in self._graphs:
+            return self._graphs[dataset].snapshot()
+        key = (dataset, scale, seed)
+        data = self._datasets.get(key)
+        if data is None:
+            data = load_dataset(dataset, scale=scale, seed=seed)
+            self._datasets[key] = data
+            if len(self._datasets) > self.cache.capacity:
+                self._datasets.popitem(last=False)
+        else:
+            self._datasets.move_to_end(key)
+        return data
+
+    # -- compile --------------------------------------------------------
+    def compile(
+        self,
+        model: Union[str, ModelSpec],
+        graph: Union[str, GraphData, MutableGraph],
+        *,
+        scale: float | None = None,
+        seed: int = 0,
+        prune: float = 0.0,
+        weights: dict | None = None,
+    ) -> ProgramHandle:
+        """Compile (or fetch from cache) a program for (model, graph).
+
+        ``model`` is a catalog name (``"GCN"``, ...) or an explicit
+        :class:`ModelSpec`; ``graph`` is a dataset name, a loaded
+        ``GraphData``, a registered graph id, or a ``MutableGraph``.
+        Compiles with ``init_weights(model, seed=seed)`` (pruned by
+        ``prune``) unless explicit ``weights`` are given — explicit
+        weights bypass the program cache, since they are not part of the
+        fingerprint.
+        """
+        graph_id: str | None = None
+        graph_version: int | None = None
+        if isinstance(graph, MutableGraph):
+            self.register_graph(graph)
+            graph = graph.graph_id
+        if isinstance(graph, str) and graph in self._graphs:
+            mutable = self._graphs[graph]
+            data = mutable.snapshot()
+            graph_id = mutable.graph_id
+            graph_version = mutable.version
+        else:
+            data = self.load_graph(graph, scale=scale, seed=seed)
+        model_spec = (
+            model
+            if isinstance(model, ModelSpec)
+            else build_model(
+                model, data.num_features, data.hidden_dim, data.num_classes
+            )
+        )
+
+        def compile_fn() -> CompiledProgram:
+            w = weights
+            if w is None:
+                w = init_weights(model_spec, seed=seed)
+                if prune > 0:
+                    w = prune_weights(w, prune)
+            return Compiler(self.config).compile(model_spec, data, w)
+
+        if weights is not None:
+            program = compile_fn()
+            key, compile_s, hit = None, program.timings.total_s, False
+        else:
+            key = program_key(
+                model if isinstance(model, str) else model_spec,
+                data if graph_id is not None or not isinstance(graph, str)
+                else graph,
+                scale, seed, prune, self.config,
+            )
+            program, compile_s, hit = self.cache.get_or_compile(key, compile_fn)
+        if graph_id is not None and key is not None:
+            self._graph_keys[graph_id][key] = graph_version
+        return ProgramHandle(
+            program=program,
+            model=model_spec,
+            data=data,
+            key=key,
+            seed=seed,
+            prune=prune,
+            compile_s=compile_s,
+            cache_hit=hit,
+            graph_id=graph_id,
+            graph_version=graph_version,
+        )
+
+    # -- infer ----------------------------------------------------------
+    def infer(
+        self,
+        handle: ProgramHandle,
+        *,
+        strategy: str = "Dynamic",
+        backend: str | None = None,
+    ):
+        """Execute a compiled program on one of the registered backends.
+
+        Returns the backend's native result: the ``simulated`` backend
+        returns the full :class:`~repro.runtime.executor.InferenceResult`
+        (bit-identical to the legacy ``RuntimeSystem`` path), ``hetero``
+        a :class:`~repro.hetero.executor.HeteroResult`, and ``cpu`` /
+        ``gpu`` a :class:`~repro.engine.backends.RooflineResult`.  Every
+        result exposes ``latency_s`` and ``latency_ms``.
+        """
+        return self.backend(backend).run(handle, strategy=strategy)
+
+    # -- mutate ---------------------------------------------------------
+    def apply_delta(
+        self,
+        graph_id: str,
+        delta: GraphDelta,
+        *,
+        policy: str = "patch",
+    ) -> MutationOutcome:
+        """Apply a delta to a registered graph and reconcile the program
+        cache under ``policy`` ("patch" re-keys cached programs through
+        the :class:`ProgramPatcher`, "evict" invalidates them).
+
+        Returns the :class:`MutationOutcome`; callers with their own
+        notion of time (the serving loop's virtual clock) charge the
+        per-patch ``report.wall_s`` costs themselves.
+        """
+        if policy not in MUTATION_POLICIES:
+            raise ValueError(
+                f"mutation policy must be one of {MUTATION_POLICIES}, "
+                f"got {policy!r}"
+            )
+        graph = self._graphs.get(graph_id)
+        if graph is None:
+            raise KeyError(f"mutation targets unregistered graph {graph_id!r}")
+        applied = graph.apply(delta)
+        outcome = MutationOutcome(applied=applied)
+        if not outcome.structural:
+            return outcome  # structural no-op: cached programs stay valid
+        keys = self._graph_keys.get(graph_id, {})
+        if not keys:
+            return outcome
+        if policy == "evict":
+            outcome.evictions += self.cache.invalidate(
+                lambda key, _program: key in keys
+            )
+            self._graph_keys[graph_id] = {}
+            return outcome
+        snapshot = graph.snapshot()
+        new_fp = dataset_fingerprint(snapshot)
+        new_keys: dict[tuple, int] = {}
+        for old_key, cached_version in keys.items():
+            if cached_version != applied.version_from:
+                # the graph was mutated out-of-band (not through this
+                # engine): this delta alone cannot bring the entry up to
+                # date, so it must be evicted, not patched
+                outcome.evictions += self.cache.invalidate(
+                    lambda key, _program: key == old_key
+                )
+                continue
+            program = self.cache.pop(old_key)
+            if program is None:
+                continue  # lost to LRU pressure in the meantime
+            patched, report = self.patcher.patch(program, snapshot, applied)
+            new_key = (old_key[0], new_fp) + old_key[2:]
+            self.cache.put(new_key, patched)
+            new_keys[new_key] = applied.version_to
+            outcome.patches.append(PatchEvent(old_key, new_key, report))
+        self._graph_keys[graph_id] = new_keys
+        return outcome
+
+    def mutate(self, handle: ProgramHandle, delta: GraphDelta) -> PatchReport | None:
+        """Mutate the handle's graph and patch its program in place.
+
+        The handle must have been compiled from a registered
+        :class:`MutableGraph`.  Every cached program backed by that graph
+        is reconciled (patch policy), and the handle is updated to the
+        patched program / new snapshot / new cache key.  Returns the
+        handle's :class:`PatchReport`, or ``None`` when the delta was a
+        structural no-op.
+        """
+        if handle.graph_id is None:
+            raise ValueError(
+                "handle is not backed by a registered MutableGraph; "
+                "compile from a MutableGraph (or its graph id) to mutate"
+            )
+        graph = self._graphs.get(handle.graph_id)
+        if graph is None:
+            raise KeyError(f"graph {handle.graph_id!r} is not registered")
+        old_key = handle.key
+        outcome = self.apply_delta(handle.graph_id, delta, policy="patch")
+        if not outcome.structural:
+            return None
+        snapshot = graph.snapshot()
+        for event in outcome.patches:
+            if event.old_key == old_key:
+                patched = self.cache.peek(event.new_key)
+                if patched is not None:
+                    handle.program = patched
+                handle.key = event.new_key
+                handle.data = snapshot
+                handle.graph_version = graph.version
+                return event.report
+        # the handle's program was not reconciled through the cache
+        # (uncacheable compile, LRU-evicted, or out-of-band version skew):
+        # patch it directly when the versions line up, recompile otherwise
+        applied = outcome.applied
+        if handle.graph_version == applied.version_from:
+            patched, report = self.patcher.patch(handle.program, snapshot, applied)
+        else:
+            import time
+
+            t0 = time.perf_counter()
+            w = {
+                name: handle.program.store[name]
+                for name in handle.model.weight_shapes()
+            }
+            patched = Compiler(self.config).compile(handle.model, snapshot, w)
+            report = PatchReport(
+                patched=False,
+                reason=(
+                    f"handle at graph version {handle.graph_version}, delta "
+                    f"applies {applied.version_from} -> {applied.version_to}: "
+                    f"out-of-band mutation forces a recompile"
+                ),
+                wall_s=time.perf_counter() - t0,
+                version_from=applied.version_from,
+                version_to=applied.version_to,
+                a_nnz_delta=applied.a_nnz_delta,
+                h_nnz_delta=applied.h_nnz_delta,
+                dirty_blocks=0,
+                reanalyzed_pairs=0,
+                decision_flips=0,
+            )
+        handle.program = patched
+        handle.data = snapshot
+        handle.graph_version = graph.version
+        if handle.key is not None:
+            new_key = (handle.key[0], dataset_fingerprint(snapshot)) + handle.key[2:]
+            handle.key = new_key
+            # keep cache and _graph_keys in lockstep: registering the key
+            # without caching the program would leave a dangling entry
+            self.cache.put(new_key, patched)
+            self._graph_keys[handle.graph_id][new_key] = graph.version
+        return report
+
+    # -- serving admission ---------------------------------------------
+    def resolve_request(
+        self, request: "InferenceRequest"
+    ) -> tuple["InferenceRequest", str | None]:
+        """Bind a dynamic-graph request to the graph's *current* snapshot.
+
+        Returns ``(request, graph_id)`` — the request is replaced with an
+        inline-``GraphData`` one when its dataset names a registered
+        mutable graph, so fingerprints key on the live version (snapshots
+        carry an O(1) content digest).  ``graph_id`` is None for static
+        requests.
+        """
+        if isinstance(request.dataset, str) and request.dataset in self._graphs:
+            graph = self._graphs[request.dataset]
+            return replace(request, dataset=graph.snapshot()), graph.graph_id
+        return request, None
+
+    def compile_request(self, request: "InferenceRequest") -> CompiledProgram:
+        """Compile the program one serving request needs (no caching —
+        the serving loop drives the cache itself to account hits on the
+        virtual clock)."""
+        data = self.load_graph(
+            request.dataset, scale=request.scale, seed=request.seed
+        )
+        model = build_model(
+            request.model, data.num_features, data.hidden_dim, data.num_classes
+        )
+        weights = init_weights(model, seed=request.seed)
+        if request.prune > 0:
+            weights = prune_weights(weights, request.prune)
+        return Compiler(self.config).compile(model, data, weights)
+
+    # -- serve ----------------------------------------------------------
+    def serve(self, requests: list, **server_kwargs) -> "ServingReport":
+        """Run a request stream through a serving front-end bound to this
+        engine (program cache and device pool shared with direct
+        :meth:`compile` / :meth:`infer` use).
+
+        ``server_kwargs`` are forwarded to
+        :class:`~repro.serve.server.InferenceServer` (``max_batch_size``,
+        ``max_wait_s``, ``return_outputs``, ``mutation_policy``); servers
+        are memoized per kwargs so repeated sweeps stay warm.
+        """
+        from repro.serve.server import InferenceServer
+
+        key = tuple(sorted(server_kwargs.items()))
+        server = self._servers.get(key)
+        if server is None:
+            server = InferenceServer(engine=self, **server_kwargs)
+            self._servers[key] = server
+        return server.serve(requests)

@@ -1,0 +1,120 @@
+"""A pool of simulated accelerators with an earliest-idle dispatcher.
+
+Scales the single-device simulator to N devices the same way
+:class:`~repro.runtime.scheduler.CoreTimeline` scales one kernel across
+Computation Cores: a per-device available-time vector on a shared virtual
+clock.  ``submit`` books a batch on the device that can start it first
+(earliest-idle-device scheduling — the multi-device analogue of Algorithm
+8's idle-core interrupts), and per-device busy time is tracked so the
+server can report utilization and detect load imbalance.
+
+Each slot owns a real :class:`~repro.hw.accelerator.Accelerator` instance:
+the engine runs a batch's functional/cycle simulation on the chosen
+device's hardware state, so the pool is not just bookkeeping — outputs
+come from the same simulator a single-shot run uses.  The pool is owned
+by the :class:`~repro.engine.core.Engine`; the serving front-end books
+batches on it but never wires devices itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import AcceleratorConfig, u250_default
+from repro.hw.accelerator import Accelerator
+
+
+@dataclass
+class DispatchEvent:
+    """One batch execution booked on a device (Gantt-style record)."""
+
+    device: int
+    start: float
+    end: float
+    batch_id: int
+    batch_size: int
+
+
+class AcceleratorPool:
+    """N identical simulated devices sharing one virtual clock."""
+
+    def __init__(
+        self, config: AcceleratorConfig | None = None, num_devices: int = 1
+    ) -> None:
+        if num_devices < 1:
+            raise ValueError("need at least one device")
+        self.config = config or u250_default()
+        self.devices = [Accelerator(self.config) for _ in range(num_devices)]
+        self.available = np.zeros(num_devices, dtype=np.float64)
+        self.busy = np.zeros(num_devices, dtype=np.float64)
+        self.events: list[DispatchEvent] = []
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    def peek_device(self, ready_s: float) -> int:
+        """Device that can start a batch ready at ``ready_s`` first.
+
+        All devices are identical, so the earliest start time wins; ties
+        break toward the earliest-idle (then lowest-numbered) device,
+        matching the idle-interrupt order of the core scheduler.
+        """
+        starts = np.maximum(self.available, ready_s)
+        best = int(np.argmin(starts))
+        # prefer the device that has been idle longest among equal starts
+        candidates = np.flatnonzero(starts == starts[best])
+        if candidates.size > 1:
+            best = int(candidates[np.argmin(self.available[candidates])])
+        return best
+
+    def submit(
+        self,
+        service_s: float,
+        ready_s: float,
+        *,
+        batch_id: int = -1,
+        batch_size: int = 1,
+    ) -> tuple[int, float, float]:
+        """Book ``service_s`` seconds of work; returns (device, start, end)."""
+        if service_s < 0:
+            raise ValueError("service_s must be non-negative")
+        device = self.peek_device(ready_s)
+        start = float(max(self.available[device], ready_s))
+        end = start + service_s
+        self.available[device] = end
+        self.busy[device] += service_s
+        self.events.append(
+            DispatchEvent(device, start, end, batch_id, batch_size)
+        )
+        return device, start, end
+
+    @property
+    def makespan_s(self) -> float:
+        """Virtual time at which the last booked batch finishes."""
+        return float(self.available.max()) if self.num_devices else 0.0
+
+    def utilization(self) -> np.ndarray:
+        """Per-device busy fraction of the pool makespan, in [0, 1]."""
+        span = self.makespan_s
+        if span <= 0.0:
+            return np.zeros(self.num_devices)
+        return self.busy / span
+
+    def load_balance(self) -> float:
+        """Mean busy time / max busy time; 1.0 = perfectly even."""
+        mx = float(self.busy.max()) if self.num_devices else 0.0
+        if mx == 0.0:
+            return 1.0
+        # clamp: mean() summation can overshoot max by an ulp on even load
+        return min(float(self.busy.mean()) / mx, 1.0)
+
+    def reset(self) -> None:
+        """Clear the virtual clock, statistics and device hardware state."""
+        self.available[:] = 0.0
+        self.busy[:] = 0.0
+        self.events.clear()
+        for dev in self.devices:
+            dev.reset()

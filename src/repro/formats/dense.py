@@ -17,7 +17,7 @@ correct while the cycle model charges for transformations.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.formats.coo import COOMatrix
-from repro.formats.dense import DenseMatrix, Layout, DTYPE
+from repro.formats.dense import DenseMatrix, DTYPE
 
 
 @dataclass(frozen=True)

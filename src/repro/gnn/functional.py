@@ -13,10 +13,8 @@ what motivates *dynamic* kernel-to-primitive mapping in the first place.
 
 from __future__ import annotations
 
-from typing import Iterable
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.formats.csr import MatrixLike, as_csr, as_dense
 from repro.formats.dense import DTYPE

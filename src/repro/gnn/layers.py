@@ -20,9 +20,8 @@ GIN's MLP additionally applies ReLU between its two Updates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
 from repro.ir.kernel import Activation, AggOp, KernelIR, KernelType
 
@@ -57,18 +56,18 @@ class LayerSpec:
     # -- weights -----------------------------------------------------------
     def weight_shapes(self, layer_id: int) -> dict[str, tuple[int, int]]:
         """Weight-matrix names (global) and shapes for this layer."""
-        l = layer_id
+        lid = layer_id
         if self.kind == "gcn" or self.kind == "sgc":
-            return {f"W{l}": (self.in_dim, self.out_dim)}
+            return {f"W{lid}": (self.in_dim, self.out_dim)}
         if self.kind == "sage":
             return {
-                f"W{l}_root": (self.in_dim, self.out_dim),
-                f"W{l}_neigh": (self.in_dim, self.out_dim),
+                f"W{lid}_root": (self.in_dim, self.out_dim),
+                f"W{lid}_neigh": (self.in_dim, self.out_dim),
             }
         # gin: 2-layer MLP with hidden width = out_dim
         return {
-            f"W{l}_mlp1": (self.in_dim, self.out_dim),
-            f"W{l}_mlp2": (self.out_dim, self.out_dim),
+            f"W{lid}_mlp1": (self.in_dim, self.out_dim),
+            f"W{lid}_mlp2": (self.out_dim, self.out_dim),
         }
 
     # -- adjacency ------------------------------------------------------------

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.config import AcceleratorConfig, u250_default
+from repro.config import AcceleratorConfig
 from repro.hw.gemm_unit import gemm_compute_cycles
 from repro.hw.report import Primitive
 from repro.hw.spdmm_unit import spdmm_compute_cycles

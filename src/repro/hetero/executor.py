@@ -15,7 +15,7 @@ adding a dense-throughput device help a sparsity-adaptive system?*
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
@@ -68,6 +68,10 @@ class HeteroResult:
     device_pairs: Counter
     transfer_seconds: float
     primitive_counts: Counter
+
+    @property
+    def latency_s(self) -> float:
+        return self.total_seconds
 
     @property
     def latency_ms(self) -> float:

@@ -90,7 +90,9 @@ class CoreBuffers:
 
     @classmethod
     def build(cls, words_per_buffer: int, num_banks: int, double_buffered: bool = True) -> "CoreBuffers":
-        mk = lambda nm: BankedBuffer(nm, words_per_buffer, num_banks, double_buffered)
+        def mk(nm: str) -> BankedBuffer:
+            return BankedBuffer(nm, words_per_buffer, num_banks, double_buffered)
+
         return cls(mk("BufferU"), mk("BufferO"), mk("BufferP"), mk("ResultBuffer"))
 
     def clear(self) -> None:

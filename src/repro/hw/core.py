@@ -21,15 +21,15 @@ compute, so a task's latency is ``max(compute, memory + transform)``.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.config import AcceleratorConfig
 from repro.formats.convert import DenseToSparseModule, SparseToDenseModule
-from repro.formats.csr import MatrixLike, as_csr, as_dense
+from repro.formats.csr import MatrixLike, as_dense
 from repro.formats.dense import DTYPE
 from repro.formats.density import SparsityProfiler
 from repro.formats.layout import LayoutMerger, LayoutTransformationUnit

@@ -15,7 +15,7 @@ movement estimate of §VIII-D.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.config import AcceleratorConfig
 

@@ -18,7 +18,7 @@ everything serialises.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class Primitive(enum.Enum):

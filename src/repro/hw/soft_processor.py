@@ -16,7 +16,7 @@ reports both the raw overhead and the exposed (non-hidden) part.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.config import AcceleratorConfig
 

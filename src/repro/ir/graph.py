@@ -13,7 +13,7 @@ deterministic topo order (insertion order among ready nodes) is used.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from repro.ir.kernel import KernelIR
 

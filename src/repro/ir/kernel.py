@@ -18,7 +18,7 @@ exactly how the Result Buffer initialisation of Algorithm 4 supports it.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 

@@ -23,7 +23,7 @@ coordinates (documented in DESIGN.md).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.ir.kernel import KernelIR, KernelType
 

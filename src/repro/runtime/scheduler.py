@@ -14,7 +14,7 @@ constraint of §VI-C — can be reported and tested.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -9,7 +9,7 @@ load balance (the §VI-C eta ablation) and the per-kernel timeline.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -117,12 +117,25 @@ STRATEGIES = {
 }
 
 
+def strategy_names() -> tuple[str, ...]:
+    """Every name :func:`make_strategy` accepts, sorted."""
+    return tuple(
+        sorted(STRATEGIES) + sorted(f"Fixed-{p.value}" for p in Primitive)
+    )
+
+
 def make_strategy(name: str, config: AcceleratorConfig) -> MappingStrategy:
-    """Instantiate a strategy by its paper label."""
+    """Instantiate a strategy by its paper label.
+
+    Unknown names raise a :class:`KeyError` that lists every valid
+    strategy, so a typo at the CLI or in a request is self-diagnosing.
+    """
     if name in STRATEGIES:
         return STRATEGIES[name](config)
     for prim in Primitive:
         if name == f"Fixed-{prim.value}":
             return FixedMapping(config, prim)
-    raise KeyError(f"unknown strategy {name!r}; expected one of "
-                   f"{sorted(STRATEGIES)} or Fixed-<primitive>")
+    raise KeyError(
+        f"unknown strategy {name!r}; valid strategies: "
+        f"{', '.join(strategy_names())}"
+    )

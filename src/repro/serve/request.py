@@ -7,7 +7,9 @@ interchangeable up to their arrival time, which is what lets the server
 cache compilation (:mod:`repro.serve.cache`) and micro-batch execution
 (:mod:`repro.serve.batcher`).
 
-Two fingerprints are derived from a request:
+Two fingerprints are derived from a request (both built from the shared
+identity scheme in :mod:`repro.engine.keys`, so serving and direct
+``Engine.compile`` use agree on which programs are the same):
 
 ``program_key``
     identifies the :class:`~repro.compiler.compile.CompiledProgram` the
@@ -22,78 +24,24 @@ Two fingerprints are derived from a request:
 
 from __future__ import annotations
 
-import hashlib
 import itertools
 from dataclasses import dataclass, field
-from functools import lru_cache
 from typing import Optional, Union
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.config import AcceleratorConfig
 from repro.datasets.catalog import GraphData
+from repro.engine.keys import (
+    config_fingerprint as config_fingerprint,  # back-compat re-export
+    dataset_fingerprint,
+    program_key,
+)
+
+# back-compat alias: the fingerprint helpers originated here
+_dataset_fingerprint = dataset_fingerprint
 
 _request_ids = itertools.count()
-
-
-@lru_cache(maxsize=32)
-def config_fingerprint(config: AcceleratorConfig) -> str:
-    """Stable identity of an accelerator configuration.
-
-    ``AcceleratorConfig`` is a frozen dataclass tree of scalars, so its
-    ``repr`` enumerates every architectural parameter deterministically.
-    Cached per config instance — the fingerprint is rebuilt for every
-    request key, and a server's config never changes.
-    """
-    return repr(config)
-
-
-def _graph_content_digest(data: GraphData) -> str:
-    """Content hash of an inline graph (adjacency + features).
-
-    Metadata alone (dims, nnz) cannot distinguish two hand-built graphs
-    with equal shapes but different values, which would silently share
-    cached programs.  The digest is memoized on the object, keyed by the
-    identities of its ``a``/``h0`` matrices so rebinding either one
-    invalidates it.  *In-place* mutation of the underlying arrays is not
-    detected — treat a ``GraphData`` as frozen once it has been served.
-    """
-    cached = getattr(data, "_serve_content_digest", None)
-    if cached is not None and cached[:2] == (id(data.a), id(data.h0)):
-        return cached[2]
-    h = hashlib.sha1()
-    a = data.a.tocsr()
-    for arr in (a.indptr, a.indices, a.data):
-        h.update(np.ascontiguousarray(arr).tobytes())
-    h0 = data.h0
-    if sp.issparse(h0):
-        h0 = h0.tocsr()
-        for arr in (h0.indptr, h0.indices, h0.data):
-            h.update(np.ascontiguousarray(arr).tobytes())
-    else:
-        h.update(np.ascontiguousarray(h0).tobytes())
-    digest = h.hexdigest()
-    data._serve_content_digest = (id(data.a), id(data.h0), digest)
-    return digest
-
-
-def _dataset_fingerprint(dataset: Union[str, GraphData]) -> tuple:
-    """Identity of the graph a request runs on.
-
-    Named datasets are regenerated deterministically from (name, scale,
-    seed), so those fields identify them.  Inline ``GraphData`` is keyed
-    by an actual content digest, so equal graphs share programs and
-    unequal ones never collide.
-    """
-    if isinstance(dataset, GraphData):
-        return (
-            dataset.name,
-            float(dataset.scale),
-            int(dataset.seed),
-            _graph_content_digest(dataset),
-        )
-    return (str(dataset),)
 
 
 @dataclass
@@ -116,13 +64,9 @@ class InferenceRequest:
 
     def program_key(self, config: AcceleratorConfig) -> tuple:
         """Fingerprint of the compiled program this request needs."""
-        return (
-            self.model,
-            _dataset_fingerprint(self.dataset),
-            None if self.scale is None else float(self.scale),
-            int(self.seed),
-            float(self.prune),
-            config_fingerprint(config),
+        return program_key(
+            self.model, self.dataset, self.scale, self.seed, self.prune,
+            config,
         )
 
     def batch_key(self, config: AcceleratorConfig) -> tuple:

@@ -1,12 +1,14 @@
 """The serving orchestrator: admission -> cache -> batch -> dispatch.
 
 :class:`InferenceServer` turns the one-shot simulator into a
-traffic-serving system.  It owns a :class:`~repro.serve.cache.ProgramCache`
-(compile once per distinct program), a
-:class:`~repro.serve.batcher.MicroBatcher` (amortize K2P analysis and PCIe
-transfer across compatible requests) and an
-:class:`~repro.serve.pool.AcceleratorPool` (earliest-idle dispatch across
-N simulated devices).
+traffic-serving system.  The resource-owning plumbing lives in the
+:class:`~repro.engine.core.Engine` it composes — the program cache
+(compile once per distinct program), the accelerator pool (earliest-idle
+dispatch across N simulated devices), the dynamic-graph registry and the
+program patcher — while the server contributes what is serving-specific:
+the :class:`~repro.serve.batcher.MicroBatcher` (amortize K2P analysis and
+PCIe transfer across compatible requests), the virtual clock, and the
+:class:`ServingReport` accounting.
 
 Time model
 ----------
@@ -19,7 +21,8 @@ simulator executes each distinct (program, strategy) once and replays the
 result — the *virtual* device occupancy is still charged for every batch,
 so throughput and utilization numbers reflect real device contention.
 
-The cache persists across :meth:`InferenceServer.serve` calls, so a second
+The engine's program cache persists across :meth:`InferenceServer.serve`
+calls (and is shared with direct ``Engine.compile`` use), so a second
 identical sweep compiles nothing — the warm/cold comparison behind the
 ``serve-bench`` CLI.
 """
@@ -27,29 +30,28 @@ identical sweep compiles nothing — the warm/cold comparison behind the
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.compiler.compile import CompiledProgram, Compiler
-from repro.config import AcceleratorConfig, u250_default
-from repro.datasets.catalog import GraphData, load_dataset
+from repro.compiler.compile import CompiledProgram
+from repro.config import AcceleratorConfig
+from repro.datasets.catalog import GraphData
 from repro.dyngraph.mutable import MutableGraph
 from repro.dyngraph.patcher import PatchPolicy, ProgramPatcher
-from repro.gnn import build_model, init_weights, prune_weights
+from repro.engine.cache import CacheStats, ProgramCache
+from repro.engine.core import MUTATION_POLICIES, Engine
+from repro.engine.pool import AcceleratorPool
 from repro.hw.memory import pcie_transfer_seconds
 from repro.runtime.executor import run_strategy
 from repro.serve.batcher import MicroBatch, MicroBatcher
-from repro.serve.cache import CacheStats, ProgramCache
-from repro.serve.pool import AcceleratorPool
 from repro.serve.request import (
     InferenceRequest,
     InferenceResponse,
     MutationRequest,
-    _dataset_fingerprint,
 )
 
-MUTATION_POLICIES = ("patch", "evict")
+__all__ = ["MUTATION_POLICIES", "InferenceServer", "ServingReport"]
 
 
 @dataclass(frozen=True)
@@ -133,14 +135,21 @@ class ServingReport:
 
 
 class InferenceServer:
-    """Batched, cached, multi-device serving front-end for the simulator."""
+    """Batched, cached, multi-device serving front-end over an ``Engine``.
+
+    Construct either around an existing engine (``InferenceServer(
+    engine=engine)`` — cache, pool and graph registry are shared with
+    direct engine use) or standalone (``InferenceServer(config,
+    pool_size=4)`` — a private engine is composed).
+    """
 
     def __init__(
         self,
         config: AcceleratorConfig | None = None,
         *,
-        pool_size: int = 1,
-        cache_capacity: int = 64,
+        engine: Engine | None = None,
+        pool_size: int | None = None,
+        cache_capacity: int | None = None,
         max_batch_size: int = 8,
         max_wait_s: float = 1e-3,
         return_outputs: bool = True,
@@ -152,57 +161,82 @@ class InferenceServer:
                 f"mutation_policy must be one of {MUTATION_POLICIES}, "
                 f"got {mutation_policy!r}"
             )
-        self.config = config or u250_default()
-        self.pool = AcceleratorPool(self.config, pool_size)
-        self.cache = ProgramCache(cache_capacity)
+        if engine is None:
+            engine = Engine(
+                config,
+                pool_size=1 if pool_size is None else pool_size,
+                cache_capacity=64 if cache_capacity is None else cache_capacity,
+                patch_policy=patch_policy,
+            )
+        else:
+            # engine-owned resources cannot be re-specified here — a
+            # silently ignored pool_size would report metrics for the
+            # wrong pool
+            conflicts = [
+                name
+                for name, value in (
+                    ("pool_size", pool_size),
+                    ("cache_capacity", cache_capacity),
+                    ("patch_policy", patch_policy),
+                )
+                if value is not None
+            ]
+            if config is not None and config != engine.config:
+                conflicts.insert(0, "config")
+            if conflicts:
+                raise ValueError(
+                    f"{', '.join(conflicts)} conflict(s) with engine=: these "
+                    f"are owned by the engine, not both (construct the "
+                    f"Engine with them instead)"
+                )
+        self.engine = engine
         self.max_batch_size = max_batch_size
         self.max_wait_s = max_wait_s
         self.return_outputs = return_outputs
-        #: what happens to cached programs when their graph mutates:
-        #: "patch" re-keys them through the ProgramPatcher, "evict"
-        #: invalidates them (the next request pays a full recompile)
+        #: what happens to cached programs when their graph mutates (see
+        #: repro.engine.core.MUTATION_POLICIES)
         self.mutation_policy = mutation_policy
-        self.patcher = ProgramPatcher(patch_policy)
-        #: registered dynamic graphs: graph_id -> MutableGraph
-        self._graphs: dict[str, MutableGraph] = {}
-        #: program-cache keys backed by each dynamic graph, mapped to the
-        #: graph version they were compiled against (re-keyed on every
-        #: mutation; a version mismatch means the graph was mutated
-        #: out-of-band and the entry can only be evicted, not patched)
-        self._graph_keys: dict[str, dict[tuple, int]] = {}
-        #: loaded datasets are reused across requests and sweeps
-        #: (LRU-bounded like the caches below)
-        self._datasets: OrderedDict[tuple, GraphData] = OrderedDict()
         #: distinct (program, strategy) executions already simulated,
         #: LRU-bounded alongside the program cache so long-lived servers
         #: don't accumulate outputs for programs that were evicted
         self._run_memo: OrderedDict[tuple, _RunMemo] = OrderedDict()
-        self._lru_capacity = cache_capacity
+        self._lru_capacity = self.engine.cache.capacity
+
+    # -- engine-owned resources (shared, never duplicated here) ---------
+    @property
+    def config(self) -> AcceleratorConfig:
+        return self.engine.config
+
+    @property
+    def cache(self) -> ProgramCache:
+        return self.engine.cache
+
+    @property
+    def pool(self) -> AcceleratorPool:
+        return self.engine.pool
+
+    @property
+    def patcher(self) -> ProgramPatcher:
+        return self.engine.patcher
+
+    @property
+    def _graphs(self) -> dict[str, MutableGraph]:
+        return self.engine._graphs
+
+    @property
+    def _graph_keys(self) -> dict[str, dict[tuple, int]]:
+        return self.engine._graph_keys
 
     # -- dynamic graphs -------------------------------------------------
     def register_graph(self, graph: MutableGraph) -> str:
         """Register a mutable graph so requests can reference it by id
         (as their ``dataset``) and mutations can target it."""
-        existing = self._graphs.get(graph.graph_id)
-        if existing is not None and existing is not graph:
-            raise ValueError(f"graph id {graph.graph_id!r} already registered")
-        self._graphs[graph.graph_id] = graph
-        self._graph_keys.setdefault(graph.graph_id, {})
-        return graph.graph_id
+        return self.engine.register_graph(graph)
 
     def _resolve(self, request: InferenceRequest) -> tuple[InferenceRequest, str | None]:
-        """Bind a dynamic-graph request to the graph's *current* snapshot.
-
-        Returns ``(request, graph_id)`` — the request is replaced with an
-        inline-``GraphData`` one when its dataset names a registered
-        mutable graph, so fingerprints key on the live version (snapshots
-        carry an O(1) content digest).  ``graph_id`` is None for static
-        requests.
-        """
-        if isinstance(request.dataset, str) and request.dataset in self._graphs:
-            graph = self._graphs[request.dataset]
-            return replace(request, dataset=graph.snapshot()), graph.graph_id
-        return request, None
+        """Bind a dynamic-graph request to the graph's current snapshot
+        (see :meth:`Engine.resolve_request`)."""
+        return self.engine.resolve_request(request)
 
     def _apply_mutation(
         self,
@@ -212,89 +246,40 @@ class InferenceServer:
         host: dict,
         counters: dict,
     ) -> None:
-        """Apply one mutation at virtual time ``now`` and reconcile the
-        program cache under the server's mutation policy.
+        """Apply one mutation at virtual time ``now`` and charge its cost.
 
-        ``host`` is the sweep's host-CPU clock (``{"free": t}``): patches
-        and compiles share one host, so they serialise against each
-        other on the virtual timeline.
+        The cache reconciliation itself (patch or evict, per the server's
+        mutation policy) is the engine's job; this wrapper books the work
+        on the sweep's host-CPU clock (``host = {"free": t}``): patches
+        and compiles share one host, so they serialise against each other
+        on the virtual timeline.
         """
-        graph = self._graphs.get(mutation.graph_id)
-        if graph is None:
-            raise KeyError(
-                f"mutation targets unregistered graph {mutation.graph_id!r}"
-            )
-        applied = graph.apply(mutation.delta)
+        outcome = self.engine.apply_delta(
+            mutation.graph_id, mutation.delta, policy=self.mutation_policy
+        )
         counters["mutations"] += 1
-        if applied.version_to == applied.version_from:
-            return  # structural no-op: cached programs stay valid
-        keys = self._graph_keys.get(mutation.graph_id, {})
-        if not keys:
-            return
-        if self.mutation_policy == "evict":
-            counters["evictions"] += self.cache.invalidate(
-                lambda key, _program: key in keys
-            )
-            self._graph_keys[mutation.graph_id] = {}
-            return
-        snapshot = graph.snapshot()
-        new_fp = _dataset_fingerprint(snapshot)
-        new_keys: dict[tuple, int] = {}
-        for old_key, cached_version in keys.items():
-            if cached_version != applied.version_from:
-                # the graph was mutated out-of-band (not through this
-                # server): this delta alone cannot bring the entry up to
-                # date, so it must be evicted, not patched
-                counters["evictions"] += self.cache.invalidate(
-                    lambda key, _program: key == old_key
-                )
-                continue
-            program = self.cache.pop(old_key)
-            if program is None:
-                continue  # lost to LRU pressure in the meantime
-            patched, report = self.patcher.patch(program, snapshot, applied)
-            new_key = (old_key[0], new_fp) + old_key[2:]
-            self.cache.put(new_key, patched)
+        counters["evictions"] += outcome.evictions
+        for event in outcome.patches:
             # the patch queues behind whatever the host is doing (an
             # in-flight compile of this very program included) and holds
             # the host while it runs
-            start = max(now, host["free"], program_ready.get(old_key, now))
-            host["free"] = start + report.wall_s
-            program_ready[new_key] = host["free"]
-            new_keys[new_key] = applied.version_to
-            if report.patched:
+            start = max(now, host["free"], program_ready.get(event.old_key, now))
+            host["free"] = start + event.report.wall_s
+            program_ready[event.new_key] = host["free"]
+            if event.report.patched:
                 counters["patches"] += 1
             else:
                 counters["fallbacks"] += 1
-            counters["patch_s"] += report.wall_s
-        self._graph_keys[mutation.graph_id] = new_keys
+            counters["patch_s"] += event.report.wall_s
 
     # -- admission ------------------------------------------------------
     def _load(self, request: InferenceRequest) -> GraphData:
-        if isinstance(request.dataset, GraphData):
-            return request.dataset
-        key = (request.dataset, request.scale, request.seed)
-        data = self._datasets.get(key)
-        if data is None:
-            data = load_dataset(
-                request.dataset, scale=request.scale, seed=request.seed
-            )
-            self._datasets[key] = data
-            if len(self._datasets) > self._lru_capacity:
-                self._datasets.popitem(last=False)
-        else:
-            self._datasets.move_to_end(key)
-        return data
+        return self.engine.load_graph(
+            request.dataset, scale=request.scale, seed=request.seed
+        )
 
     def _compile(self, request: InferenceRequest) -> CompiledProgram:
-        data = self._load(request)
-        model = build_model(
-            request.model, data.num_features, data.hidden_dim, data.num_classes
-        )
-        weights = init_weights(model, seed=request.seed)
-        if request.prune > 0:
-            weights = prune_weights(weights, request.prune)
-        return Compiler(self.config).compile(model, data, weights)
+        return self.engine.compile_request(request)
 
     # -- execution ------------------------------------------------------
     def _execute(self, key: tuple, program: CompiledProgram, strategy: str,

@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.config import AcceleratorConfig, BufferConfig, small_test_config, u250_default
+from repro.config import AcceleratorConfig, BufferConfig, u250_default
 from repro.compiler import Compiler
 from repro.datasets import load_dataset
 from repro.gnn import build_model, init_weights

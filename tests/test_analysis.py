@@ -31,7 +31,7 @@ class TestGantt:
     def test_rows_have_uniform_width(self, two_runs):
         dyn, _ = two_runs
         lines = render_gantt(dyn, width=50).splitlines()[1:-1]
-        assert len({len(l) for l in lines}) == 1
+        assert len({len(line) for line in lines}) == 1
 
     def test_empty_timeline(self, two_runs):
         dyn, _ = two_runs

@@ -28,6 +28,34 @@ class TestCLI:
         ]) == 0
         assert "latency" in capsys.readouterr().out
 
+    def test_run_with_hetero_backend(self, capsys):
+        assert main(["run", "--dataset", "CO", "--scale", "0.2",
+                     "--backend", "hetero"]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out and "device seconds" in out
+
+    def test_run_with_cpu_backend(self, capsys):
+        assert main(["run", "--dataset", "CO", "--scale", "0.2",
+                     "--backend", "cpu"]) == 0
+        assert "framework model" in capsys.readouterr().out
+
+    def test_engine_bench_command(self, capsys):
+        assert main(["engine-bench", "--scale", "0.1", "--repeats", "2"]) == 0
+        assert "facade overhead" in capsys.readouterr().out
+
+    def test_run_backend_oom_is_a_clean_cli_error(self, monkeypatch):
+        # the paper's N/A cells (NELL on GPU) must not dump a traceback
+        from repro.baselines.cpu_gpu import OutOfMemoryError
+        from repro.engine import Engine
+
+        def boom(self, handle, **kwargs):
+            raise OutOfMemoryError("working set exceeds platform memory")
+
+        monkeypatch.setattr(Engine, "infer", boom)
+        with pytest.raises(SystemExit, match="working set"):
+            main(["run", "--dataset", "CO", "--scale", "0.1",
+                  "--backend", "gpu"])
+
     def test_compare_command(self, capsys):
         assert main(["compare", "--dataset", "CO", "--scale", "0.2"]) == 0
         out = capsys.readouterr().out

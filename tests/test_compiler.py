@@ -11,7 +11,6 @@ from repro.compiler.sparsity import (
     profile_matrix,
     profile_partitions,
 )
-from repro.datasets import load_dataset
 from repro.formats.partition import PartitionedMatrix, SPARSE_STORAGE_THRESHOLD
 from repro.gnn import build_model, init_weights
 from repro.gnn.layers import GraphMeta

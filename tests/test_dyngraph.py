@@ -6,8 +6,9 @@ import pytest
 import scipy.sparse as sp
 from hypothesis import given, settings, strategies as st
 
-from repro import Compiler, build_model, init_weights, load_dataset, run_strategy
+from repro import Compiler, build_model, init_weights, load_dataset
 from repro.compiler.sparsity import profile_matrix, update_profile
+from repro.runtime.executor import run_strategy
 from repro.config import u250_default
 from repro.datasets.catalog import DatasetSpec, GraphData
 from repro.dyngraph import (

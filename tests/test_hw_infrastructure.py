@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from conftest import make_tiny_config
 from repro.config import u250_default
 from repro.formats.coo import COOMatrix
 from repro.formats.dense import DenseMatrix

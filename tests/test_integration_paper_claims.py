@@ -10,13 +10,10 @@ import numpy as np
 import pytest
 
 from repro import (
-    Accelerator,
     Compiler,
-    RuntimeSystem,
     build_model,
     init_weights,
     load_dataset,
-    make_strategy,
     prune_weights,
     reference_inference,
     u250_default,

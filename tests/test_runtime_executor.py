@@ -3,9 +3,7 @@
 import numpy as np
 import pytest
 
-from conftest import make_tiny_config
 from repro.compiler import Compiler
-from repro.datasets import load_dataset
 from repro.gnn import build_model, init_weights, reference_inference
 from repro.hw import Accelerator
 from repro.hw.report import Primitive

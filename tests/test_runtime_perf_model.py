@@ -1,6 +1,5 @@
 """Tests for the Table IV performance model and §VI-A region analysis."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
