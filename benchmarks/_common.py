@@ -23,6 +23,7 @@ from repro import Engine, load_dataset, u250_default
 from repro.config import AcceleratorConfig
 from repro.engine import ProgramHandle
 from repro.harness import format_table, geomean, sci, speedup_fmt, write_result
+from repro.perf import BenchContext, Metric, register_bench
 from repro.runtime import end_to_end_seconds
 
 FULL_SCALE = os.environ.get("REPRO_FULL_SCALE", "0") == "1"
@@ -162,6 +163,8 @@ __all__ = [
     "MODELS",
     "STRATEGIES",
     "FULL_SCALE",
+    "BenchContext",
+    "Metric",
     "RunSummary",
     "emit",
     "engine_for",
@@ -171,6 +174,7 @@ __all__ = [
     "get_handle",
     "get_program",
     "profile",
+    "register_bench",
     "run",
     "sci",
     "speedup_fmt",

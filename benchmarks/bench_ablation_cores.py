@@ -5,7 +5,7 @@ checks that kernel makespans scale with core count until load balance or
 memory bandwidth saturates — the reason the eta constraint exists.
 """
 
-from _common import emit, engine_for, format_table, get_dataset
+from _common import Metric, emit, engine_for, format_table, get_dataset, register_bench
 from repro import u250_default
 
 
@@ -20,16 +20,33 @@ def sweep():
     return out
 
 
-def test_ablation_cores(benchmark):
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+def _table(rows):
     base = rows[0][1]
-    table = format_table(
+    return format_table(
         ["cores", "latency (ms)", "speedup vs 1 core", "load balance"],
         [[c, f"{lat:.4f}", f"{base / lat:.2f}x", f"{lb:.3f}"]
          for c, lat, lb in rows],
         title="A2: Computation Core scaling (GCN on PubMed)",
     )
-    emit("ablation_cores", table)
+
+
+@register_bench("ablation_cores", tier="full", tags=("ablation",))
+def _spec(ctx):
+    """A2: core-count scaling (modelled cycles, deterministic)."""
+    rows = sweep()
+    emit("ablation_cores", _table(rows))
+    lat = {c: ms for c, ms, _ in rows}
+    return {
+        # unit "model-ms": derived from simulated cycles, deterministic
+        # (not wall clock), so it gets the tight default tolerance
+        "latency_7c_ms": Metric("latency_7c_ms", lat[7], "model-ms"),
+        "scaling_7c": Metric("scaling_7c", lat[1] / lat[7], "x", "higher"),
+    }
+
+
+def test_ablation_cores(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("ablation_cores", _table(rows))
     lat = {c: ms for c, ms, _ in rows}
     assert lat[7] < lat[1], "7 cores must beat 1 core"
     assert lat[4] <= lat[1], "4 cores must not lose to 1 core"

@@ -10,7 +10,7 @@ here.
 
 import dataclasses
 
-from _common import emit, engine_for, format_table, get_dataset
+from _common import Metric, emit, engine_for, format_table, get_dataset, register_bench
 from repro import u250_default
 
 
@@ -24,12 +24,8 @@ def run_with(double_buffering: bool):
     return engine.infer(engine.compile("GCN", data, seed=7))
 
 
-def test_ablation_double_buffering(benchmark):
-    def sweep():
-        return run_with(True), run_with(False)
-
-    on, off = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    table = format_table(
+def _table(on, off):
+    return format_table(
         ["double buffering", "latency (ms)", "slowdown"],
         [
             ["on (paper)", f"{on.latency_ms:.4f}", "1.00x"],
@@ -38,7 +34,27 @@ def test_ablation_double_buffering(benchmark):
         ],
         title="A3: double buffering on/off (GCN on PubMed)",
     )
-    emit("ablation_double_buffering", table)
+
+
+@register_bench("ablation_double_buffering", tier="full", tags=("ablation",))
+def _spec(ctx):
+    """A3: double buffering on/off (modelled cycles, deterministic)."""
+    on, off = run_with(True), run_with(False)
+    emit("ablation_double_buffering", _table(on, off))
+    return {
+        "latency_on_ms": Metric("latency_on_ms", on.latency_ms, "model-ms"),
+        "slowdown_off": Metric(
+            "slowdown_off", off.total_cycles / on.total_cycles, "x", "higher"
+        ),
+    }
+
+
+def test_ablation_double_buffering(benchmark):
+    def sweep():
+        return run_with(True), run_with(False)
+
+    on, off = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("ablation_double_buffering", _table(on, off))
     assert off.total_cycles > on.total_cycles
     # overlap should buy a tangible fraction, not epsilon
     assert off.total_cycles / on.total_cycles > 1.05

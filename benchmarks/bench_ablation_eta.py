@@ -8,7 +8,7 @@ per-kernel load balance on a workload big enough for the constraint to
 bind.
 """
 
-from _common import emit, engine_for, format_table, get_dataset
+from _common import Metric, emit, engine_for, format_table, get_dataset, register_bench
 from repro import u250_default
 
 
@@ -27,14 +27,29 @@ def sweep():
     return out
 
 
-def test_ablation_eta(benchmark):
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    table = format_table(
+def _table(rows):
+    return format_table(
         ["eta", "N1", "N2", "latency (ms)", "load balance", "tasks"],
         [[e, n1, n2, f"{lat:.3f}", f"{lb:.3f}", t] for e, n1, n2, lat, lb, t in rows],
         title="A1: eta load-balance factor sweep (GCN on Flickr)",
     )
-    emit("ablation_eta", table)
+
+
+@register_bench("ablation_eta", tier="full", tags=("ablation",))
+def _spec(ctx):
+    """A1: eta load-balance factor sweep."""
+    rows = sweep()
+    emit("ablation_eta", _table(rows))
+    by_eta = {r[0]: r for r in rows}
+    return {
+        "latency_eta4_ms": Metric("latency_eta4_ms", by_eta[4][3], "model-ms"),
+        "balance_eta4": Metric("balance_eta4", by_eta[4][4], "frac", "higher"),
+    }
+
+
+def test_ablation_eta(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("ablation_eta", _table(rows))
     by_eta = {r[0]: r for r in rows}
     # more tasks with larger eta (smaller partitions)
     assert by_eta[8][5] >= by_eta[1][5]

@@ -7,7 +7,7 @@ reloads; large partitions maximise locality but starve the cores.  The
 heuristic should land within a modest factor of the sweep's best point.
 """
 
-from _common import emit, engine_for, format_table, get_dataset
+from _common import Metric, emit, engine_for, format_table, get_dataset, register_bench
 from repro import u250_default
 
 
@@ -26,15 +26,34 @@ def sweep():
     return rows
 
 
-def test_ablation_partition(benchmark):
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    table = format_table(
+def _table(rows):
+    return format_table(
         ["min dim", "N1", "N2", "latency (ms)", "K2P ovh", "pairs", "balance"],
         [[f, n1, n2, f"{lat:.4f}", f"{o:.3f}", p, f"{lb:.3f}"]
          for f, n1, n2, lat, o, p, lb in rows],
         title="A4: partition-size sweep (GCN on PubMed)",
     )
-    emit("ablation_partition", table)
+
+
+@register_bench("ablation_partition", tier="full", tags=("ablation",))
+def _spec(ctx):
+    """A4: partition-size sweep (modelled cycles, deterministic)."""
+    rows = sweep()
+    emit("ablation_partition", _table(rows))
+    by_floor = {r[0]: r for r in rows}
+    best = min(r[3] for r in rows)
+    return {
+        "latency_1024_ms": Metric("latency_1024_ms", by_floor[1024][3], "model-ms"),
+        "heuristic_vs_best": Metric(
+            "heuristic_vs_best", by_floor[1024][3] / best, "x"
+        ),
+        "pairs_64": Metric("pairs_64", by_floor[64][5], "count"),
+    }
+
+
+def test_ablation_partition(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("ablation_partition", _table(rows))
     by_floor = {r[0]: r for r in rows}
     # smaller partitions -> more pairs -> more runtime-system work
     assert by_floor[64][5] > by_floor[1024][5]

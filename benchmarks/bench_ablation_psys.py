@@ -7,7 +7,7 @@ CCs fit the U250.  This bench sweeps psys and reports latency, primitive
 mix and resource feasibility.
 """
 
-from _common import emit, engine_for, format_table, get_dataset
+from _common import Metric, emit, engine_for, format_table, get_dataset, register_bench
 from repro import estimate_resources, u250_default
 from repro.hw.report import Primitive
 
@@ -29,16 +29,33 @@ def sweep():
     return rows
 
 
-def test_ablation_psys(benchmark):
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    table = format_table(
+def _table(rows):
+    return format_table(
         ["psys", "latency (ms)", "SpDMM pairs", "SPMM pairs",
          "SPMM threshold", "7 CCs fit U250"],
         [[p, f"{lat:.4f}", sd, sm, f"{thr:.4f}", fits]
          for p, lat, sd, sm, thr, fits in rows],
         title="A5: psys sweep (GCN on CiteSeer)",
     )
-    emit("ablation_psys", table)
+
+
+@register_bench("ablation_psys", tier="full", tags=("ablation",))
+def _spec(ctx):
+    """A5: psys ALU-array dimension sweep (modelled cycles, deterministic)."""
+    rows = sweep()
+    emit("ablation_psys", _table(rows))
+    by_p = {r[0]: r for r in rows}
+    return {
+        "latency_p16_ms": Metric("latency_p16_ms", by_p[16][1], "model-ms"),
+        "speedup_p16_vs_p8": Metric(
+            "speedup_p16_vs_p8", by_p[8][1] / by_p[16][1], "x", "higher"
+        ),
+    }
+
+
+def test_ablation_psys(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("ablation_psys", _table(rows))
     by_p = {r[0]: r for r in rows}
     # bigger arrays are faster (more MACs/cycle)
     assert by_p[16][1] <= by_p[8][1]

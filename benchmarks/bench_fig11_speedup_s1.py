@@ -7,7 +7,17 @@ S1 executes Update as dense GEMM and cannot exploit any of it.
 """
 
 
-from _common import DATASETS, MODELS, emit, format_table, run, speedup_fmt
+from _common import (
+    DATASETS,
+    MODELS,
+    Metric,
+    emit,
+    format_table,
+    geomean,
+    register_bench,
+    run,
+    speedup_fmt,
+)
 
 SPARSITIES = (0, 50, 80, 95)
 
@@ -41,6 +51,27 @@ def build_table(baseline="S1"):
             )
         )
     return "\n\n".join(blocks)
+
+
+def _band_geomeans(baseline="S1"):
+    lo, hi = [], []
+    for model_name in MODELS:
+        data = series(model_name, baseline)
+        for ds in DATASETS:
+            lo.append(data[ds][0])
+            hi.append(data[ds][-1])
+    return geomean(lo), geomean(hi)
+
+
+@register_bench("fig11_speedup_s1", tier="full", tags=("paper", "figure"))
+def _spec(ctx):
+    """Fig. 11: speedup of Dynamic over S1 vs weight sparsity."""
+    emit("fig11_speedup_s1", build_table())
+    lo, hi = _band_geomeans("S1")
+    return {
+        "geomean_unpruned": Metric("geomean_unpruned", lo, "x", "higher"),
+        "geomean_95pct": Metric("geomean_95pct", hi, "x", "higher"),
+    }
 
 
 def test_fig11(benchmark):

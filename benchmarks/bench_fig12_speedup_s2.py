@@ -6,8 +6,19 @@ wastes 2x on dense Updates.  Expected shape: speedups above 1 that grow
 with weight sparsity (paper Table VIII: 1.38x -> 5.03x across bands).
 """
 
-from _common import DATASETS, MODELS, emit, run
-from bench_fig11_speedup_s1 import build_table, series
+from _common import DATASETS, MODELS, Metric, emit, register_bench, run
+from bench_fig11_speedup_s1 import _band_geomeans, build_table, series
+
+
+@register_bench("fig12_speedup_s2", tier="full", tags=("paper", "figure"))
+def _spec(ctx):
+    """Fig. 12: speedup of Dynamic over S2 vs weight sparsity."""
+    emit("fig12_speedup_s2", build_table(baseline="S2"))
+    lo, hi = _band_geomeans("S2")
+    return {
+        "geomean_unpruned": Metric("geomean_unpruned", lo, "x", "higher"),
+        "geomean_95pct": Metric("geomean_95pct", hi, "x", "higher"),
+    }
 
 
 def test_fig12(benchmark):

@@ -6,7 +6,19 @@ and *decreasing* as weight sparsity increases (more empty partitions are
 skipped, so fewer decisions flow downstream).
 """
 
-from _common import DATASETS, MODELS, emit, format_table, run
+from _common import DATASETS, MODELS, Metric, emit, format_table, register_bench, run
+
+
+@register_bench("fig13_runtime_overhead", tier="full", tags=("paper", "figure"))
+def _spec(ctx):
+    """Fig. 13: runtime-system K2P overhead fraction (modelled)."""
+    table, fractions = build_table()
+    emit("fig13_runtime_overhead", table)
+    avg = sum(fractions) / len(fractions)
+    return {
+        "avg_overhead_frac": Metric("avg_overhead_frac", avg, "frac"),
+        "max_overhead_frac": Metric("max_overhead_frac", max(fractions), "frac"),
+    }
 
 
 def build_table():

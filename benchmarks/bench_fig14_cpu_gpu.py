@@ -12,12 +12,40 @@ Paper geomeans (accelerator-latency speedups): PyG-CPU 306x, PyG-GPU
 entries on NELL-GPU at full feature dimension.
 """
 
-from _common import DATASETS, emit, format_table, geomean, get_dataset, run, sci, speedup_fmt
+from _common import (
+    DATASETS,
+    Metric,
+    emit,
+    format_table,
+    geomean,
+    get_dataset,
+    register_bench,
+    run,
+    sci,
+    speedup_fmt,
+)
 from repro import build_model, init_weights
 from repro.baselines import framework_latency, measured_reference_seconds
 
 FW_NAMES = ("PyG-CPU", "DGL-CPU", "PyG-GPU", "DGL-GPU")
 PAPER_GEOMEAN = {"PyG-CPU": 306.0, "DGL-CPU": 141.9, "PyG-GPU": 16.4, "DGL-GPU": 35.0}
+
+
+@register_bench("fig14_cpu_gpu", tier="full", tags=("paper", "figure"))
+def _spec(ctx):
+    """Fig. 14: speedup over PyG/DGL roofline models (CPU and GPU)."""
+    table, speedups = build_table()
+    emit("fig14_cpu_gpu", table)
+    return {
+        f"geomean_{fw.lower().replace('-', '_')}": Metric(
+            f"geomean_{fw.lower().replace('-', '_')}",
+            geomean(speedups[fw]),
+            "x",
+            "higher",
+        )
+        for fw in FW_NAMES
+        if speedups[fw]
+    }
 
 
 def collect():

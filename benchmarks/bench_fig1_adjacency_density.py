@@ -8,9 +8,20 @@ partitions) that motivates fine-grained mapping.
 
 import numpy as np
 
-from _common import DATASETS, emit, format_table, get_dataset
+from _common import DATASETS, Metric, emit, format_table, get_dataset, register_bench
 from repro.formats.density import density
 from repro.formats.partition import PartitionedMatrix
+
+
+@register_bench("fig1_adjacency_density", tier="full", tags=("paper", "figure"))
+def _spec(ctx):
+    """Fig. 1: adjacency density and per-block spread."""
+    emit("fig1_adjacency_density", build_table())
+    return {
+        "density_A_CO": Metric(
+            "density_A_CO", density(get_dataset("CO").a), "frac"
+        ),
+    }
 
 
 def build_table():

@@ -7,9 +7,34 @@ sparsity that motivates runtime K2P mapping (intermediate densities are
 unknown at compile time).
 """
 
-from _common import DATASETS, emit, format_table, get_dataset
+from _common import (
+    DATASETS,
+    Metric,
+    emit,
+    format_table,
+    get_dataset,
+    register_bench,
+)
 from repro.gnn import build_model, init_weights
 from repro.gnn.functional import layerwise_feature_densities
+
+
+@register_bench("fig2_feature_density", tier="full", tags=("paper", "figure"))
+def _spec(ctx):
+    """Fig. 2: feature-matrix density per GCN stage."""
+    emit("fig2_feature_density", build_table())
+    data = get_dataset("CI")
+    model = build_model(
+        "GCN", data.num_features, data.hidden_dim, data.num_classes
+    )
+    stages = layerwise_feature_densities(
+        model, data.a, data.h0, init_weights(model, seed=7)
+    )
+    return {
+        "density_L1_update_CI": Metric(
+            "density_L1_update_CI", stages[1][1], "frac"
+        ),
+    }
 
 
 def build_table():

@@ -7,8 +7,22 @@ published utilisation percentages.
 
 import pytest
 
-from _common import emit
+from _common import Metric, emit, register_bench
 from repro import estimate_resources, u250_default
+
+
+@register_bench("fig9_resources", tier=("smoke", "full"), tags=("paper", "figure"))
+def _spec(ctx):
+    """Fig. 9: FPGA resource utilisation (analytical, machine-independent)."""
+    report = estimate_resources(u250_default())
+    emit("fig9_resources", report.format_table())
+    assert report.fits
+    util = report.utilization
+    return {
+        "lut_util": Metric("lut_util", util["LUT"], "frac"),
+        "dsp_util": Metric("dsp_util", util["DSP"], "frac"),
+        "uram_util": Metric("uram_util", util["URAM"], "frac"),
+    }
 
 
 def test_fig9(benchmark):

@@ -9,8 +9,19 @@ workloads (CiteSeer, NELL) stay on the FPGA and see no benefit — i.e.
 the value of the heterogeneous extension *is itself sparsity-dependent*.
 """
 
-from _common import emit, format_table, get_program, speedup_fmt
+from _common import Metric, emit, format_table, get_program, register_bench, speedup_fmt
 from repro.hetero import HeterogeneousRuntime
+
+
+@register_bench("hetero_future_work", tier="full", tags=("hetero",))
+def _spec(ctx):
+    """§IX future work: heterogeneous CPU+GPU+FPGA vs FPGA-only."""
+    table, gains = build_table()
+    emit("hetero_future_work", table)
+    return {
+        "gain_re": Metric("gain_re", gains["RE"][0], "x", "higher"),
+        "gain_ci": Metric("gain_ci", gains["CI"][0], "x", "higher"),
+    }
 
 
 def build_table():

@@ -6,12 +6,40 @@ modelled soft-processor budget, plus the O(K)-vs-O(N^3) complexity claim.
 """
 
 
-from _common import emit, format_table
+from _common import Metric, emit, format_table, register_bench
 from repro import u250_default
 from repro.hw.soft_processor import SoftProcessor
 from repro.runtime.analyzer import Analyzer, PairInfo
 
 CFG = u250_default()
+
+
+def _analysis_vs_compute_ratio() -> float:
+    """§VI-B budget: K2P analysis seconds over one task's compute seconds."""
+    soft = SoftProcessor(CFG)
+    n2 = 512
+    k = 32  # pairs per task
+    analysis_s = soft.k2p_decision_seconds(k)
+    macs = k * n2 * n2 * n2
+    compute_s = macs / (CFG.gemm_macs_per_cycle * CFG.freq_hz)
+    return analysis_s / compute_s
+
+
+@register_bench("k2p_overhead", tier=("smoke", "full"), tags=("micro",))
+def _spec(ctx):
+    """§VI-B: K2P analysis budget vs task compute (modelled, deterministic)."""
+    ratio = _analysis_vs_compute_ratio()
+    emit("k2p_overhead", format_table(
+        ["metric", "value"],
+        [["analysis / task compute", f"{ratio:.2e}"]],
+        title="K2P analysis vs task compute (one 512-wide task, K=32)",
+    ))
+    assert ratio < 0.05
+    return {
+        "analysis_compute_ratio": Metric(
+            "analysis_compute_ratio", ratio, "frac"
+        ),
+    }
 
 
 def test_k2p_decision_microbench(benchmark):
@@ -39,17 +67,9 @@ def test_k2p_negligible_vs_task_compute(benchmark):
     """§VI-B: O(K) decisions per task vs O(|V| N2 + f1 N2^2) compute —
     the analysis budget is a vanishing fraction of the task's work."""
 
-    def check():
-        soft = SoftProcessor(CFG)
-        n2 = 512
-        k = 32  # pairs per task
-        analysis_s = soft.k2p_decision_seconds(k)
-        # one task's compute at GEMM rate (the cheapest interpretation)
-        macs = k * n2 * n2 * n2
-        compute_s = macs / (CFG.gemm_macs_per_cycle * CFG.freq_hz)
-        return analysis_s / compute_s
-
-    ratio = benchmark.pedantic(check, rounds=1, iterations=1)
+    ratio = benchmark.pedantic(
+        _analysis_vs_compute_ratio, rounds=1, iterations=1
+    )
     table = format_table(
         ["metric", "value"],
         [["analysis / task compute", f"{ratio:.2e}"]],

@@ -10,7 +10,7 @@ GEMM/SpDMM, alpha_max = 2/psys for SpDMM/SPMM).
 import numpy as np
 import scipy.sparse as sp
 
-from _common import emit, format_table
+from _common import Metric, emit, format_table, register_bench
 from repro import u250_default
 from repro.hw.gemm_unit import gemm_compute_cycles
 from repro.hw.report import Primitive
@@ -72,6 +72,18 @@ def build_table():
         ),
     )
     return table, agreements, total
+
+
+@register_bench("perfmodel_crossover", tier="full", tags=("model",))
+def _spec(ctx):
+    """Table IV / §VI-A: region rule vs simulated cycles."""
+    table, agreements, total = build_table()
+    emit("perfmodel_crossover", table)
+    return {
+        "agreement_rate": Metric(
+            "agreement_rate", agreements / total, "frac", "higher"
+        ),
+    }
 
 
 def test_crossover(benchmark):

@@ -12,7 +12,7 @@ light load to overload.  The headline claims this bench checks:
   the pool's service capacity.
 """
 
-from _common import emit, format_table
+from _common import Metric, emit, format_table, register_bench
 from repro import u250_default
 from repro.serve import InferenceRequest, InferenceServer, synthesize
 
@@ -51,23 +51,21 @@ def _workload(rate_rps: float):
     )
 
 
-def test_pool_scaling(benchmark):
-    """Warm throughput vs pool size on one saturating workload."""
+def _pool_sweep():
+    rate = _saturating_rate(pool_size=8)
+    workload = _workload(rate)
+    rows = []
+    for pool in (1, 2, 4, 8):
+        server = _server(pool)
+        server.serve(workload)          # cold: populate the cache
+        warm = server.serve(workload)   # warm: pure pool scaling
+        rows.append((pool, warm))
+    return rows
 
-    def sweep():
-        rate = _saturating_rate(pool_size=8)
-        workload = _workload(rate)
-        rows = []
-        for pool in (1, 2, 4, 8):
-            server = _server(pool)
-            server.serve(workload)          # cold: populate the cache
-            warm = server.serve(workload)   # warm: pure pool scaling
-            rows.append((pool, warm))
-        return rows
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+def _pool_table(rows):
     base = rows[0][1].throughput_rps
-    table = format_table(
+    return format_table(
         ["pool", "throughput (req/s)", "scaling", "p95 (ms)", "util (mean)",
          "hit rate"],
         [[pool, f"{r.throughput_rps:,.0f}", f"{r.throughput_rps / base:.2f}x",
@@ -78,7 +76,31 @@ def test_pool_scaling(benchmark):
         title="S1a: serving throughput vs pool size (warm cache, "
               "saturating Poisson arrivals)",
     )
-    emit("serving_pool_scaling", table)
+
+
+@register_bench("serving_throughput", tier="full", tags=("serve",))
+def _spec(ctx):
+    """Serving throughput vs pool size (virtual clock, warm cache)."""
+    rows = _pool_sweep()
+    emit("serving_pool_scaling", _pool_table(rows))
+    by_pool = {pool: r for pool, r in rows}
+    return {
+        "scaling_4pool": Metric(
+            "scaling_4pool",
+            by_pool[4].throughput_rps / by_pool[1].throughput_rps,
+            "x",
+            "higher",
+        ),
+        "warm_hit_rate": Metric(
+            "warm_hit_rate", by_pool[4].cache_hit_rate, "frac", "higher"
+        ),
+    }
+
+
+def test_pool_scaling(benchmark):
+    """Warm throughput vs pool size on one saturating workload."""
+    rows = benchmark.pedantic(_pool_sweep, rounds=1, iterations=1)
+    emit("serving_pool_scaling", _pool_table(rows))
     by_pool = {pool: r for pool, r in rows}
     assert by_pool[2].throughput_rps >= 1.5 * by_pool[1].throughput_rps
     assert by_pool[4].throughput_rps >= 2.5 * by_pool[1].throughput_rps

@@ -6,7 +6,18 @@ rooflines; Table V/X specs).  Paper: Dynasparse 2.7x over BoostGCN and
 N/A entries mirrored (BoostGCN: NELL; HyGCN: Flickr, NELL).
 """
 
-from _common import DATASETS, emit, format_table, geomean, get_dataset, run, sci, speedup_fmt
+from _common import (
+    DATASETS,
+    Metric,
+    emit,
+    format_table,
+    geomean,
+    get_dataset,
+    register_bench,
+    run,
+    sci,
+    speedup_fmt,
+)
 from repro import build_model
 from repro.baselines import accelerator_latency
 
@@ -53,6 +64,21 @@ def build_table():
         title="Table X: accelerator execution latency vs GNN accelerators (GCN)",
     )
     return table, speedups
+
+
+@register_bench("table10_accelerators", tier="full", tags=("paper", "table"))
+def _spec(ctx):
+    """Table X: speedup vs BoostGCN / HyGCN rooflines (GCN)."""
+    table, speedups = build_table()
+    emit("table10_accelerators", table)
+    return {
+        "geomean_boostgcn": Metric(
+            "geomean_boostgcn", geomean(speedups["BoostGCN"]), "x", "higher"
+        ),
+        "geomean_hygcn": Metric(
+            "geomean_hygcn", geomean(speedups["HyGCN"]), "x", "higher"
+        ),
+    }
 
 
 def test_table10(benchmark):

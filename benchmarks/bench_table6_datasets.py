@@ -7,9 +7,28 @@ depends on (density of A, density of H0) against the published values.
 
 import pytest
 
-from _common import DATASETS, emit, format_table, get_dataset, profile
+from _common import (
+    DATASETS,
+    Metric,
+    emit,
+    format_table,
+    get_dataset,
+    profile,
+    register_bench,
+)
 from repro.datasets import TABLE_VI
 from repro.formats.density import density
+
+
+@register_bench("table6_datasets", tier="full", tags=("paper", "table"))
+def _spec(ctx):
+    """Table VI: dataset statistics (generated vs paper)."""
+    emit("table6_datasets", build_table())
+    co = get_dataset("CO")
+    return {
+        "density_H0_CO": Metric("density_H0_CO", density(co.h0), "frac"),
+        "vertices_CO": Metric("vertices_CO", co.num_vertices, "count"),
+    }
 
 
 def build_table():

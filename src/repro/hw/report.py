@@ -32,6 +32,22 @@ class Primitive(enum.Enum):
     SKIP = "SKIP"
 
 
+#: dense integer codes for the vectorised decision paths — constructing a
+#: :class:`Primitive` per pair is what the batched Analyzer avoids, so the
+#: batch APIs speak int8 arrays indexed by this order
+CODE_ORDER: tuple[Primitive, ...] = (
+    Primitive.GEMM,
+    Primitive.SPDMM,
+    Primitive.SPMM,
+    Primitive.SKIP,
+)
+PRIMITIVE_CODES: dict[Primitive, int] = {p: i for i, p in enumerate(CODE_ORDER)}
+GEMM_CODE = PRIMITIVE_CODES[Primitive.GEMM]
+SPDMM_CODE = PRIMITIVE_CODES[Primitive.SPDMM]
+SPMM_CODE = PRIMITIVE_CODES[Primitive.SPMM]
+SKIP_CODE = PRIMITIVE_CODES[Primitive.SKIP]
+
+
 @dataclass
 class CycleReport:
     """Cycle and work accounting of one (or an aggregation of) executions."""

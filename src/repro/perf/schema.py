@@ -1,0 +1,184 @@
+"""Canonical benchmark-result schema: ``BENCH_<name>.json``.
+
+One :class:`BenchResult` per registered bench per run.  The schema is the
+contract between the runner (``repro bench``), the baseline store
+(``results/baselines/``) and the diff tool (``repro perf-diff``): every
+result carries its metrics *with units and improvement direction*, the
+repeat count, and an :class:`EnvFingerprint` (interpreter, library
+versions, git revision, dataset-scale mode) so a number can always be
+traced back to the environment that produced it.
+
+The JSON round-trip is exact: ``BenchResult.from_dict(r.to_dict()) == r``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+#: units the comparator treats as host wall-clock measurements (noisy
+#: across machines -> generous default tolerance)
+TIME_UNITS = frozenset({"s", "ms", "us", "ns"})
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One measured value: name, value, unit, and which way is better.
+
+    ``direction`` is ``"lower"`` (latencies, byte counts) or ``"higher"``
+    (speedups, throughput, hit rates) — the comparator needs it to tell a
+    regression from an improvement.
+    """
+
+    name: str
+    value: float
+    unit: str = ""
+    direction: str = "lower"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("lower", "higher"):
+            raise ValueError(
+                f"metric {self.name!r}: direction must be 'lower' or "
+                f"'higher', got {self.direction!r}"
+            )
+
+    @property
+    def is_time(self) -> bool:
+        return self.unit in TIME_UNITS
+
+
+@dataclass(frozen=True)
+class EnvFingerprint:
+    """Where a result came from: enough to explain cross-run deltas."""
+
+    python: str
+    numpy: str
+    scipy: str
+    platform: str
+    git_sha: str
+    #: dataset-scale mode of the bench profile ("bench" or "full", see
+    #: benchmarks/_common.py)
+    scale_mode: str
+
+    @classmethod
+    def collect(cls, *, scale_mode: str = "bench") -> "EnvFingerprint":
+        import numpy
+        import scipy
+
+        return cls(
+            python=platform.python_version(),
+            numpy=numpy.__version__,
+            scipy=scipy.__version__,
+            platform=platform.platform(),
+            git_sha=_git_sha(),
+            scale_mode=scale_mode,
+        )
+
+
+def _git_sha() -> str:
+    """Current revision, or "unknown" outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Everything one bench run produced, JSON-serialisable."""
+
+    name: str
+    tier: str
+    metrics: tuple[Metric, ...]
+    repeats: int
+    fingerprint: EnvFingerprint
+    tags: tuple[str, ...] = ()
+    schema_version: int = SCHEMA_VERSION
+    #: per-metric relative tolerance overrides declared by the spec
+    tolerances: dict = field(default_factory=dict)
+
+    def metric(self, name: str) -> Metric:
+        for m in self.metrics:
+            if m.name == name:
+                return m
+        raise KeyError(
+            f"bench {self.name!r} has no metric {name!r}; "
+            f"metrics: {[m.name for m in self.metrics]}"
+        )
+
+    def metric_names(self) -> tuple[str, ...]:
+        return tuple(m.name for m in self.metrics)
+
+    # -- serialisation ---------------------------------------------------
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "BenchResult":
+        version = raw.get("schema_version", 0)
+        if version > SCHEMA_VERSION:
+            raise ValueError(
+                f"result {raw.get('name')!r} has schema version {version}, "
+                f"newer than this reader ({SCHEMA_VERSION})"
+            )
+        return cls(
+            name=raw["name"],
+            tier=raw["tier"],
+            metrics=tuple(Metric(**m) for m in raw["metrics"]),
+            repeats=int(raw["repeats"]),
+            fingerprint=EnvFingerprint(**raw["fingerprint"]),
+            tags=tuple(raw.get("tags", ())),
+            schema_version=version,
+            tolerances=dict(raw.get("tolerances", {})),
+        )
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "BenchResult":
+        return cls.from_dict(json.loads(text))
+
+    # -- file layout -----------------------------------------------------
+    def filename(self) -> str:
+        return f"BENCH_{self.name}.json"
+
+    def write(self, directory: Path) -> Path:
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / self.filename()
+        path.write_text(self.dumps() + "\n")
+        return path
+
+    @classmethod
+    def read(cls, path: Path) -> "BenchResult":
+        return cls.loads(Path(path).read_text())
+
+
+def load_dir(directory: Path) -> dict[str, BenchResult]:
+    """All ``BENCH_*.json`` results in a directory, keyed by bench name."""
+    directory = Path(directory)
+    results: dict[str, BenchResult] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        result = BenchResult.read(path)
+        results[result.name] = result
+    return results
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TIME_UNITS",
+    "Metric",
+    "EnvFingerprint",
+    "BenchResult",
+    "load_dir",
+]

@@ -15,7 +15,14 @@ AWB-GCN mapping) are provided as alternative
 Table VII / Fig. 11-12 comparisons run on identical hardware.
 """
 
-from repro.runtime.perf_model import PerformanceModel, model_cycles, region_primitive
+from repro.runtime.perf_model import (
+    PerformanceModel,
+    argmin_primitive_batch,
+    model_cycles,
+    model_cycles_batch,
+    region_primitive,
+    region_primitive_batch,
+)
 from repro.runtime.analyzer import Analyzer
 from repro.runtime.strategies import (
     DynamicMapping,
@@ -34,7 +41,10 @@ from repro.runtime.stats import KernelStats
 __all__ = [
     "PerformanceModel",
     "model_cycles",
+    "model_cycles_batch",
     "region_primitive",
+    "region_primitive_batch",
+    "argmin_primitive_batch",
     "Analyzer",
     "MappingStrategy",
     "DynamicMapping",

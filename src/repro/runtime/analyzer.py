@@ -21,9 +21,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.config import AcceleratorConfig
 from repro.hw.core import PairDecision
-from repro.hw.report import Primitive
+from repro.hw.report import GEMM_CODE, SKIP_CODE, SPDMM_CODE, SPMM_CODE, Primitive
 
 
 @dataclass(frozen=True)
@@ -57,3 +59,28 @@ class Analyzer:
             # transposed (ties keep X in BufferU)
             return PairDecision(Primitive.SPDMM, transposed=ay < ax)
         return PairDecision(Primitive.SPMM)
+
+    def decide_batch(
+        self, alpha_x: np.ndarray, alpha_y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Algorithm 7 over ``K`` pairs at once: ``(codes, transposed)``.
+
+        ``codes`` is an int8 array in :data:`repro.hw.report.CODE_ORDER`;
+        ``transposed`` is the SpDMM orientation flag per pair.  Decision-
+        for-decision identical to :meth:`decide` — same thresholds, same
+        comparisons — but one numpy pass instead of a Python call per
+        pair; the runtime's hot inner loop (see the
+        ``micro_k2p_decision_batch`` bench for the measured speedup).
+        """
+        ax = np.asarray(alpha_x, dtype=np.float64)
+        ay = np.asarray(alpha_y, dtype=np.float64)
+        a_min = np.minimum(ax, ay)
+        a_max = np.maximum(ax, ay)
+        # write in inverse-priority order so each later mask overrides
+        # the previous ones exactly as the scalar if/elif chain does
+        codes = np.full(ax.shape, SPMM_CODE, dtype=np.int8)
+        codes[a_max >= self._spdmm_threshold] = SPDMM_CODE
+        codes[a_min >= 0.5] = GEMM_CODE
+        codes[a_min == 0.0] = SKIP_CODE
+        transposed = (codes == SPDMM_CODE) & (ay < ax)
+        return codes, transposed

@@ -33,9 +33,8 @@ from repro.gnn.activations import activation_fn
 from repro.hw.accelerator import Accelerator
 from repro.hw.core import OperandSpec, PairDecision
 from repro.hw.memory import pcie_transfer_seconds
-from repro.hw.report import CycleReport, Primitive
+from repro.hw.report import CODE_ORDER, SKIP_CODE, CycleReport, Primitive
 from repro.ir.kernel import KernelIR
-from repro.runtime.analyzer import PairInfo
 from repro.runtime.scheduler import CoreTimeline
 from repro.runtime.stats import KernelStats, total_primitive_counts
 from repro.runtime.strategies import MappingStrategy
@@ -304,20 +303,27 @@ class RuntimeSystem:
             i, k = task.out_row, task.out_col
             m = int(x_rs[i])
             d = int(y_cs[k])
+            # one vectorised Analyzer pass per task (Algorithm 7 over the
+            # K inner blocks) instead of a Python decide() call per pair
+            js = np.fromiter(
+                (p[0] for p in task.pairs), dtype=np.int64, count=len(task.pairs)
+            )
+            ax_arr = x_dens[i, js]
+            ay_arr = y_dens[js, k]
+            codes, transp = self.strategy.decide_batch(
+                kernel, ax_arr, ay_arr, m, x_cs[js], d
+            )
+            num_pairs += len(js)
+            skipped = int((codes == SKIP_CODE).sum())
+            if skipped:
+                counts[Primitive.SKIP] += skipped
             pairs_work = []
-            for j, _ in task.pairs:
-                info = PairInfo(
-                    alpha_x=float(x_dens[i, j]),
-                    alpha_y=float(y_dens[j, k]),
-                    m=m,
-                    n=int(x_cs[j]),
-                    d=d,
+            for idx in np.flatnonzero(codes != SKIP_CODE):
+                j = int(js[idx])
+                decision = PairDecision(
+                    CODE_ORDER[codes[idx]], transposed=bool(transp[idx])
                 )
-                decision = self.strategy.decide(kernel, info)
-                num_pairs += 1
-                if decision.primitive is Primitive.SKIP:
-                    counts[Primitive.SKIP] += 1
-                    continue
+                n = int(x_cs[j])
                 x_nnz = int(x_nnzg[i, j])
                 y_nnz = int(y_nnzg[j, k])
                 # On-chip capacity fallback: SPMM randomly accesses its
@@ -330,23 +336,23 @@ class RuntimeSystem:
                     0
                 ].coo_fits(y_nnz):
                     decision = PairDecision(Primitive.SPDMM)
-                x_elems = m * info.n
-                y_elems = info.n * d
+                x_elems = m * n
+                y_elems = n * d
                 x_spec = OperandSpec(
                     data=xv.block(i, j),
                     nbytes=12 * x_nnz if x_stored_sparse else 4 * x_elems,
                     nnz=x_nnz,
-                    density=info.alpha_x,
+                    density=float(ax_arr[idx]),
                     stored_sparse=x_stored_sparse,
-                    shape=(m, info.n),
+                    shape=(m, n),
                 )
                 y_spec = OperandSpec(
                     data=yv.block(j, k),
                     nbytes=12 * y_nnz if y_stored_sparse else 4 * y_elems,
                     nnz=y_nnz,
-                    density=info.alpha_y,
+                    density=float(ay_arr[idx]),
                     stored_sparse=y_stored_sparse,
-                    shape=(info.n, d),
+                    shape=(n, d),
                 )
                 pairs_work.append((x_spec, y_spec, decision))
 

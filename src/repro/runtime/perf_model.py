@@ -26,8 +26,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.config import AcceleratorConfig
-from repro.hw.report import Primitive
+from repro.hw.report import GEMM_CODE, SPDMM_CODE, SPMM_CODE, Primitive
 
 
 def model_cycles(
@@ -90,6 +92,74 @@ def argmin_primitive(
         if costs[prim] <= best:
             return prim
     return Primitive.GEMM  # pragma: no cover - unreachable
+
+
+def model_cycles_batch(
+    m,
+    n,
+    d,
+    alpha_x,
+    alpha_y,
+    config: AcceleratorConfig,
+) -> np.ndarray:
+    """Table IV for ``K`` pairs at once: a ``(3, K)`` cycle array.
+
+    Rows follow the code order ``GEMM, SpDMM, SPMM``.  Each column is
+    bit-identical to three :func:`model_cycles` calls — same float64
+    operations in the same order — but evaluated as whole-array numpy
+    expressions, which is what makes the Oracle strategy's inner loop
+    (one model evaluation per partition pair) tractable on large grids.
+    ``m``, ``n``, ``d`` may be scalars or arrays broadcastable to ``K``.
+    """
+    ax = np.asarray(alpha_x, dtype=np.float64)
+    ay = np.asarray(alpha_y, dtype=np.float64)
+    if ax.size and (ax.min() < 0.0 or ax.max() > 1.0):
+        raise ValueError("densities must lie in [0, 1]")
+    if ay.size and (ay.min() < 0.0 or ay.max() > 1.0):
+        raise ValueError("densities must lie in [0, 1]")
+    p2 = config.psys * config.psys
+    volume = (
+        np.asarray(m, dtype=np.int64)
+        * np.asarray(n, dtype=np.int64)
+        * np.asarray(d, dtype=np.int64)
+    )
+    gemm = volume / p2
+    spdmm = np.minimum(ax, ay) * 2.0 * volume / p2
+    spmm = ax * ay * volume / config.psys
+    return np.stack(np.broadcast_arrays(gemm, spdmm, spmm))
+
+
+def region_primitive_batch(
+    alpha_x, alpha_y, config: AcceleratorConfig
+) -> np.ndarray:
+    """Vectorised §VI-A region rule: int8 primitive codes per pair
+    (:data:`repro.hw.report.CODE_ORDER`)."""
+    ax = np.asarray(alpha_x, dtype=np.float64)
+    ay = np.asarray(alpha_y, dtype=np.float64)
+    a_min = np.minimum(ax, ay)
+    a_max = np.maximum(ax, ay)
+    codes = np.full(a_min.shape, SPMM_CODE, dtype=np.int8)
+    codes[a_max >= 2.0 / config.psys] = SPDMM_CODE
+    codes[a_min >= 0.5] = GEMM_CODE
+    return codes
+
+
+def argmin_primitive_batch(
+    m,
+    n,
+    d,
+    alpha_x,
+    alpha_y,
+    config: AcceleratorConfig,
+) -> np.ndarray:
+    """Vectorised :func:`argmin_primitive`: int8 codes with the same
+    deterministic tie-break (first of GEMM, SpDMM, SPMM at the minimum)."""
+    costs = model_cycles_batch(m, n, d, alpha_x, alpha_y, config)
+    best = costs.min(axis=0, keepdims=True)
+    # argmax over the boolean mask returns the *first* primitive (in
+    # region order) whose cost reaches the minimum — Algorithm 7's
+    # tie-break, identical to the scalar loop
+    return np.argmax(costs <= best, axis=0).astype(np.int8)
 
 
 @dataclass

@@ -23,12 +23,14 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 from repro.config import AcceleratorConfig
 from repro.hw.core import PairDecision
-from repro.hw.report import Primitive
+from repro.hw.report import PRIMITIVE_CODES, SPDMM_CODE, Primitive
 from repro.ir.kernel import KernelIR, KernelType
 from repro.runtime.analyzer import Analyzer, PairInfo
-from repro.runtime.perf_model import argmin_primitive
+from repro.runtime.perf_model import argmin_primitive, argmin_primitive_batch
 
 
 class MappingStrategy(ABC):
@@ -46,6 +48,41 @@ class MappingStrategy(ABC):
     def decide(self, kernel: KernelIR, info: PairInfo) -> PairDecision:
         """Map one (Xit, Ytj) pair to a primitive."""
 
+    def decide_batch(
+        self,
+        kernel: KernelIR,
+        alpha_x: np.ndarray,
+        alpha_y: np.ndarray,
+        m: int,
+        n: np.ndarray,
+        d: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Map all ``K`` pairs of one task at once.
+
+        Returns int8 primitive codes (:data:`repro.hw.report.CODE_ORDER`)
+        and the per-pair SpDMM ``transposed`` flags.  The base
+        implementation delegates to :meth:`decide` pair by pair, so a
+        strategy that only overrides the scalar method stays bit-exact;
+        the built-in strategies override this with vectorised paths.
+        """
+        k = len(alpha_x)
+        codes = np.empty(k, dtype=np.int8)
+        transposed = np.zeros(k, dtype=bool)
+        for idx in range(k):
+            dec = self.decide(
+                kernel,
+                PairInfo(
+                    alpha_x=float(alpha_x[idx]),
+                    alpha_y=float(alpha_y[idx]),
+                    m=m,
+                    n=int(n[idx]),
+                    d=d,
+                ),
+            )
+            codes[idx] = PRIMITIVE_CODES[dec.primitive]
+            transposed[idx] = dec.transposed
+        return codes, transposed
+
 
 class DynamicMapping(MappingStrategy):
     """The paper's dynamic K2P mapping (Algorithm 7)."""
@@ -60,6 +97,14 @@ class DynamicMapping(MappingStrategy):
     def decide(self, kernel: KernelIR, info: PairInfo) -> PairDecision:
         return self._analyzer.decide(info)
 
+    def decide_batch(self, kernel, alpha_x, alpha_y, m, n, d):
+        return self._analyzer.decide_batch(alpha_x, alpha_y)
+
+
+def _constant_batch(primitive: Primitive, k: int) -> tuple[np.ndarray, np.ndarray]:
+    codes = np.full(k, PRIMITIVE_CODES[primitive], dtype=np.int8)
+    return codes, np.zeros(k, dtype=bool)
+
 
 class Static1(MappingStrategy):
     """S1: Aggregate -> SpDMM, Update -> GEMM (HyGCN [3], BoostGCN [4])."""
@@ -71,6 +116,14 @@ class Static1(MappingStrategy):
             return PairDecision(Primitive.SPDMM)
         return PairDecision(Primitive.GEMM)
 
+    def decide_batch(self, kernel, alpha_x, alpha_y, m, n, d):
+        prim = (
+            Primitive.SPDMM
+            if kernel.ktype is KernelType.AGGREGATE
+            else Primitive.GEMM
+        )
+        return _constant_batch(prim, len(alpha_x))
+
 
 class Static2(MappingStrategy):
     """S2: everything -> SpDMM with the left operand sparse (AWB-GCN [17])."""
@@ -79,6 +132,9 @@ class Static2(MappingStrategy):
 
     def decide(self, kernel: KernelIR, info: PairInfo) -> PairDecision:
         return PairDecision(Primitive.SPDMM)
+
+    def decide_batch(self, kernel, alpha_x, alpha_y, m, n, d):
+        return _constant_batch(Primitive.SPDMM, len(alpha_x))
 
 
 class OracleMapping(MappingStrategy):
@@ -94,6 +150,13 @@ class OracleMapping(MappingStrategy):
         transposed = prim is Primitive.SPDMM and info.alpha_y < info.alpha_x
         return PairDecision(prim, transposed=transposed)
 
+    def decide_batch(self, kernel, alpha_x, alpha_y, m, n, d):
+        ax = np.asarray(alpha_x, dtype=np.float64)
+        ay = np.asarray(alpha_y, dtype=np.float64)
+        codes = argmin_primitive_batch(m, n, d, ax, ay, self.config)
+        transposed = (codes == SPDMM_CODE) & (ay < ax)
+        return codes, transposed
+
 
 class FixedMapping(MappingStrategy):
     """Force one primitive for every pair (ablation baseline)."""
@@ -107,6 +170,9 @@ class FixedMapping(MappingStrategy):
 
     def decide(self, kernel: KernelIR, info: PairInfo) -> PairDecision:
         return PairDecision(self.primitive)
+
+    def decide_batch(self, kernel, alpha_x, alpha_y, m, n, d):
+        return _constant_batch(self.primitive, len(alpha_x))
 
 
 STRATEGIES = {

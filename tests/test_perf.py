@@ -1,0 +1,563 @@
+"""Tests for repro.perf: schema round-trip, registry/tier filtering,
+regression detection, the bench/perf-diff CLIs, and bit-exactness of the
+two vectorised hot paths the subsystem's profiler surfaced."""
+
+import json
+import textwrap
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import u250_default
+from repro.__main__ import main
+from repro.formats.partition import block_nnz_grid, block_nnz_grid_reference
+from repro.hw.report import CODE_ORDER, PRIMITIVE_CODES, Primitive
+from repro.perf import (
+    BenchContext,
+    BenchResult,
+    EnvFingerprint,
+    Metric,
+    Regression,
+    compare,
+    compare_dirs,
+    load_dir,
+    register_bench,
+    run_bench,
+    run_suite,
+    select,
+    update_baselines,
+)
+from repro.perf import spec as spec_mod
+from repro.runtime.analyzer import Analyzer, PairInfo
+from repro.runtime.perf_model import (
+    argmin_primitive,
+    argmin_primitive_batch,
+    model_cycles,
+    model_cycles_batch,
+    region_primitive,
+    region_primitive_batch,
+)
+from repro.runtime.strategies import (
+    DynamicMapping,
+    FixedMapping,
+    MappingStrategy,
+    OracleMapping,
+    Static1,
+    Static2,
+)
+
+CFG = u250_default()
+
+
+@pytest.fixture
+def registry():
+    """Snapshot/restore the global bench registry around a test."""
+    saved = dict(spec_mod._REGISTRY)
+    spec_mod._REGISTRY.clear()
+    try:
+        yield spec_mod._REGISTRY
+    finally:
+        spec_mod._REGISTRY.clear()
+        spec_mod._REGISTRY.update(saved)
+
+
+def fingerprint():
+    return EnvFingerprint(
+        python="3.11.0", numpy="2.0.0", scipy="1.14.0",
+        platform="test", git_sha="deadbee", scale_mode="bench",
+    )
+
+
+def result(name="b", metrics=(), tier="smoke", tolerances=None):
+    return BenchResult(
+        name=name, tier=tier, metrics=tuple(metrics), repeats=1,
+        fingerprint=fingerprint(), tolerances=dict(tolerances or {}),
+    )
+
+
+class TestSchema:
+    def test_round_trip_exact(self):
+        r = result(metrics=[
+            Metric("lat", 1.25, "ms", "lower"),
+            Metric("speedup", 3.0, "x", "higher"),
+        ], tolerances={"speedup": 0.5})
+        assert BenchResult.from_dict(r.to_dict()) == r
+        assert BenchResult.loads(r.dumps()) == r
+
+    def test_file_round_trip_and_load_dir(self, tmp_path):
+        r = result(name="grid", metrics=[Metric("wall_s", 0.2, "s")])
+        path = r.write(tmp_path)
+        assert path.name == "BENCH_grid.json"
+        assert BenchResult.read(path) == r
+        assert load_dir(tmp_path) == {"grid": r}
+
+    def test_newer_schema_version_refused(self):
+        raw = result().to_dict()
+        raw["schema_version"] = 999
+        with pytest.raises(ValueError, match="newer"):
+            BenchResult.from_dict(raw)
+
+    def test_metric_direction_validated(self):
+        with pytest.raises(ValueError, match="direction"):
+            Metric("m", 1.0, "ms", "sideways")
+
+    def test_missing_metric_lists_names(self):
+        r = result(metrics=[Metric("a", 1.0)])
+        with pytest.raises(KeyError, match="'a'"):
+            r.metric("b")
+
+    def test_fingerprint_collect_real_env(self):
+        fp = EnvFingerprint.collect(scale_mode="bench")
+        assert fp.numpy == np.__version__
+        assert fp.scale_mode == "bench"
+        json.dumps(result(metrics=[]).to_dict())  # serialisable
+
+
+class TestRegistry:
+    def test_register_and_tier_filtering(self, registry):
+        @register_bench("smoke_only", tier="smoke")
+        def _a(ctx):
+            return {}
+
+        @register_bench("full_only", tier="full", tags=("paper",))
+        def _b(ctx):
+            return {}
+
+        @register_bench("both", tier=("smoke", "full"))
+        def _c(ctx):
+            return {}
+
+        assert [s.name for s in select(tier="smoke")] == ["smoke_only", "both"]
+        assert [s.name for s in select(tier="full")] == ["full_only", "both"]
+        assert [s.name for s in select(tags=["paper"])] == ["full_only"]
+        assert [s.name for s in select(names=["both"])] == ["both"]
+
+    def test_duplicate_name_rejected(self, registry):
+        @register_bench("dup")
+        def _a(ctx):
+            return {}
+
+        with pytest.raises(ValueError, match="already registered"):
+            @register_bench("dup")
+            def _b(ctx):
+                return {}
+
+    def test_unknown_tier_and_name_rejected(self, registry):
+        with pytest.raises(ValueError, match="unknown tier"):
+            register_bench("x", tier="nightly")
+        with pytest.raises(KeyError, match="registered"):
+            select(names=["nope"])
+        with pytest.raises(ValueError, match="valid tiers"):
+            select(tier="nightly")
+
+    def test_named_spec_outside_tier_rejected(self, registry):
+        @register_bench("full_only", tier="full")
+        def _a(ctx):
+            return {}
+
+        # silently dropping an explicitly named bench would report a
+        # clean run for a bench that never executed
+        with pytest.raises(ValueError, match="do not run in tier"):
+            select(tier="smoke", names=["full_only"])
+
+
+class TestRunner:
+    def test_run_bench_appends_wall_time(self, registry):
+        @register_bench("timed", tier="smoke")
+        def _t(ctx):
+            assert isinstance(ctx, BenchContext) and ctx.smoke
+            return {"val": (2.0, "x", "higher")}
+
+        r = run_bench(select(names=["timed"])[0], tier="smoke", repeats=2,
+                      fingerprint=fingerprint())
+        assert r.metric("val").direction == "higher"
+        assert r.metric("wall_s").unit == "s"
+        assert r.repeats == 2
+
+    def test_wrong_tier_rejected(self, registry):
+        @register_bench("full_only", tier="full")
+        def _t(ctx):
+            return {}
+
+        with pytest.raises(ValueError, match="does not run in tier"):
+            run_bench(select(names=["full_only"])[0], tier="smoke")
+
+    def test_suite_isolates_failures(self, registry, tmp_path):
+        @register_bench("boom", tier="smoke")
+        def _a(ctx):
+            raise RuntimeError("kaput")
+
+        @register_bench("fine", tier="smoke")
+        def _b(ctx):
+            return {"v": 1.0}
+
+        report = run_suite(tier="smoke", out_dir=tmp_path)
+        assert not report.ok
+        assert "RuntimeError" in report.failures["boom"]
+        assert [r.name for r in report.results] == ["fine"]
+        assert (tmp_path / "BENCH_fine.json").exists()
+
+    def test_suite_reports_missing_baseline(self, registry, tmp_path):
+        @register_bench("newbie", tier="smoke")
+        def _a(ctx):
+            return {}
+
+        report = run_suite(tier="smoke", out_dir=tmp_path / "out",
+                           baseline_dir=tmp_path / "base")
+        assert report.missing_baselines == ["newbie"]
+        assert report.ok  # a brand-new bench cannot regress
+
+
+class TestCompare:
+    def base(self):
+        return result(metrics=[
+            Metric("cycles", 100.0, "count", "lower"),
+            Metric("speedup", 4.0, "x", "higher"),
+            Metric("wall_s", 1.0, "s", "lower"),
+        ])
+
+    def classify(self, **values):
+        metrics = [m for m in [
+            Metric("cycles", values.get("cycles", 100.0), "count", "lower"),
+            Metric("speedup", values.get("speedup", 4.0), "x", "higher"),
+            Metric("wall_s", values.get("wall_s", 1.0), "s", "lower"),
+        ]]
+        out = compare(result(metrics=metrics), self.base())
+        return {c.metric: c.classification for c in out}
+
+    def test_within_tolerance(self):
+        cls = self.classify(cycles=110.0, speedup=3.8)
+        assert cls == {"cycles": "within", "speedup": "within",
+                       "wall_s": "within"}
+
+    def test_regression_lower_is_better(self):
+        assert self.classify(cycles=200.0)["cycles"] == "regression"
+
+    def test_regression_higher_is_better(self):
+        assert self.classify(speedup=1.0)["speedup"] == "regression"
+
+    def test_improvement(self):
+        cls = self.classify(cycles=10.0, speedup=40.0)
+        assert cls["cycles"] == "improvement"
+        assert cls["speedup"] == "improvement"
+
+    def test_time_units_get_generous_band(self):
+        # 9x slower wall clock is still "within" (different machine class);
+        # order-of-magnitude blowups are flagged
+        assert self.classify(wall_s=9.9)["wall_s"] == "within"
+        assert self.classify(wall_s=10.1)["wall_s"] == "regression"
+
+    def test_tolerance_override_tightens(self):
+        new = result(metrics=[Metric("wall_s", 1.5, "s", "lower")],
+                     tolerances={"wall_s": 0.1})
+        base = result(metrics=[Metric("wall_s", 1.0, "s", "lower")])
+        (c,) = compare(new, base)
+        assert c.is_regression and c.tolerance == 0.1
+
+    def test_zero_baseline(self):
+        new = result(metrics=[Metric("errs", 1.0, "count", "lower")])
+        base = result(metrics=[Metric("errs", 0.0, "count", "lower")])
+        (c,) = compare(new, base)
+        assert c.is_regression and c.worse_by == float("inf")
+
+    def test_one_sided_metrics_skipped(self):
+        new = result(metrics=[Metric("brand_new", 1.0)])
+        assert compare(new, self.base()) == []
+
+    def test_regressions_sort_first(self):
+        new = result(metrics=[
+            Metric("cycles", 10.0, "count", "lower"),    # improvement
+            Metric("speedup", 1.0, "x", "higher"),       # regression
+        ])
+        out = compare(new, self.base())
+        assert [c.classification for c in out][0] == "regression"
+        assert isinstance(out[0], Regression) and "WORSE" in out[0].describe()
+
+
+class TestCompareDirs:
+    def write(self, d, name, value):
+        result(name=name,
+               metrics=[Metric("v", value, "count", "lower")]).write(d)
+
+    def test_compare_and_update(self, tmp_path):
+        new, base = tmp_path / "new", tmp_path / "base"
+        self.write(new, "a", 100.0)
+        self.write(new, "b", 1.0)
+        self.write(base, "a", 50.0)
+        comparisons, missing = compare_dirs(new, base)
+        assert [c.classification for c in comparisons] == ["regression"]
+        assert missing == ["b"]
+
+        written = update_baselines(new, base)
+        assert sorted(p.name for p in written) == [
+            "BENCH_a.json", "BENCH_b.json"]
+        comparisons, missing = compare_dirs(new, base)
+        assert missing == []
+        assert all(c.classification == "within" for c in comparisons)
+
+
+BENCH_TEMPLATE = """
+from repro.perf import register_bench
+
+
+@register_bench("cli_spec", tier=("smoke", "full"))
+def _spec(ctx):
+    # returning wall_s explicitly keeps the runner from appending the
+    # measured one: a trivial payload's real wall clock is microseconds
+    # of pure jitter, and this spec must compare deterministically
+    return {{"val": ({value}, "count", "lower"), "wall_s": (0.5, "s")}}
+"""
+
+
+class TestBenchCLI:
+    @pytest.fixture
+    def bench_dir(self, tmp_path, registry, monkeypatch):
+        """A benchmarks dir holding one registered spec, value 100."""
+        import sys
+
+        d = tmp_path / "benchmarks"
+        d.mkdir()
+        (d / "bench_cli_spec.py").write_text(
+            textwrap.dedent(BENCH_TEMPLATE.format(value=100.0))
+        )
+        monkeypatch.delitem(sys.modules, "bench_cli_spec", raising=False)
+        return d
+
+    def test_bench_list(self, bench_dir, capsys):
+        assert main(["bench", "--list", "--benchmarks-dir",
+                     str(bench_dir)]) == 0
+        assert "cli_spec" in capsys.readouterr().out
+
+    def test_bench_run_update_then_check(self, bench_dir, tmp_path, capsys):
+        out, base = tmp_path / "out", tmp_path / "base"
+        args = ["bench", "--benchmarks-dir", str(bench_dir),
+                "--out", str(out), "--baseline-dir", str(base)]
+        assert main(args + ["--update-baseline"]) == 0
+        assert (base / "BENCH_cli_spec.json").exists()
+        # same value against the fresh baseline: exit 0
+        assert main(args + ["--check-baseline"]) == 0
+        assert "regression" not in capsys.readouterr().out
+
+    def test_bench_missing_dir_is_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["bench", "--benchmarks-dir", str(tmp_path / "nope")])
+
+    def test_bench_unknown_name_is_clean_error(self, bench_dir):
+        with pytest.raises(SystemExit, match="unknown bench"):
+            main(["bench", "--benchmarks-dir", str(bench_dir),
+                  "--names", "nope"])
+
+    def test_update_baseline_promotes_only_this_run(self, bench_dir,
+                                                    tmp_path, registry):
+        """Stale BENCH_*.json in out_dir must not be promoted."""
+        out, base = tmp_path / "out", tmp_path / "base"
+        out.mkdir()
+        result(name="stale").write(out)
+        assert main(["bench", "--benchmarks-dir", str(bench_dir),
+                     "--out", str(out), "--baseline-dir", str(base),
+                     "--update-baseline"]) == 0
+        assert (base / "BENCH_cli_spec.json").exists()
+        assert not (base / "BENCH_stale.json").exists()
+
+    def test_update_baseline_refused_on_failure(self, tmp_path, registry,
+                                                capsys):
+        """A run with a failing bench must not refresh the baseline."""
+        import sys
+
+        d = tmp_path / "benchmarks"
+        d.mkdir()
+        (d / "bench_boom.py").write_text(textwrap.dedent("""
+            from repro.perf import register_bench
+
+
+            @register_bench("boom", tier=("smoke", "full"))
+            def _spec(ctx):
+                raise RuntimeError("kaput")
+        """))
+        sys.modules.pop("bench_boom", None)
+        out, base = tmp_path / "out", tmp_path / "base"
+        try:
+            assert main(["bench", "--benchmarks-dir", str(d),
+                         "--out", str(out), "--baseline-dir", str(base),
+                         "--update-baseline"]) == 1
+        finally:
+            sys.modules.pop("bench_boom", None)
+        assert not base.exists() or not list(base.glob("BENCH_*.json"))
+        assert "NOT refreshed" in capsys.readouterr().out
+
+    def test_bench_regression_gates(self, bench_dir, tmp_path):
+        """An injected synthetic regression must flip the exit code."""
+        out, base = tmp_path / "out", tmp_path / "base"
+        args = ["bench", "--benchmarks-dir", str(bench_dir),
+                "--out", str(out), "--baseline-dir", str(base)]
+        assert main(args + ["--update-baseline"]) == 0
+        # tamper with the baseline: pretend the metric used to be 10x better
+        path = base / "BENCH_cli_spec.json"
+        raw = json.loads(path.read_text())
+        for m in raw["metrics"]:
+            if m["name"] == "val":
+                m["value"] = 10.0
+        path.write_text(json.dumps(raw))
+        assert main(args + ["--check-baseline"]) == 1
+
+
+class TestPerfDiffCLI:
+    def write(self, d, name, value, unit="count"):
+        result(name=name,
+               metrics=[Metric("v", value, unit, "lower")]).write(d)
+
+    def test_within_exits_zero(self, tmp_path, capsys):
+        new, base = tmp_path / "new", tmp_path / "base"
+        self.write(new, "a", 100.0)
+        self.write(base, "a", 101.0)
+        assert main(["perf-diff", str(new), str(base)]) == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        new, base = tmp_path / "new", tmp_path / "base"
+        self.write(new, "a", 100.0)
+        self.write(base, "a", 10.0)
+        assert main(["perf-diff", str(new), str(base)]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_missing_dir_is_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["perf-diff", str(tmp_path / "nope"), str(tmp_path / "no2")])
+
+    def test_no_overlap_is_clean_error(self, tmp_path):
+        new, base = tmp_path / "new", tmp_path / "base"
+        new.mkdir(), base.mkdir()
+        with pytest.raises(SystemExit, match="no overlapping"):
+            main(["perf-diff", str(new), str(base)])
+
+    def test_all_flag_prints_within(self, tmp_path, capsys):
+        new, base = tmp_path / "new", tmp_path / "base"
+        self.write(new, "a", 100.0)
+        self.write(base, "a", 100.0)
+        assert main(["perf-diff", str(new), str(base), "--all"]) == 0
+        assert "a.v" in capsys.readouterr().out
+
+
+def _density_grid(n=257):
+    rng = np.random.default_rng(3)
+    ax = rng.uniform(0.0, 1.0, n)
+    ay = rng.uniform(0.0, 1.0, n)
+    ax[::11] = 0.0
+    ay[::7] = 0.0
+    ay[::5] = ax[::5]          # exact ties
+    ax[3], ay[3] = 0.5, 0.5    # exact GEMM threshold
+    ax[4], ay[4] = 2.0 / CFG.psys, 0.01  # exact SpDMM threshold
+    return ax, ay
+
+
+class TestVectorizedHotPaths:
+    """The two vectorised hot paths are bit-exact vs their references."""
+
+    @pytest.mark.parametrize("n,m,block", [(64, 64, 16), (100, 130, 32),
+                                           (1, 7, 16), (256, 256, 256)])
+    def test_block_nnz_grid_sparse(self, n, m, block):
+        rng = np.random.default_rng(n + m)
+        mat = sp.random(n, m, density=0.1, format="csr", dtype=np.float32,
+                        rng=rng)
+        assert np.array_equal(
+            block_nnz_grid(mat, block, block),
+            block_nnz_grid_reference(mat, block, block),
+        )
+
+    def test_block_nnz_grid_dense_and_explicit_zeros(self):
+        rng = np.random.default_rng(0)
+        dense = (rng.uniform(size=(70, 90)) < 0.3).astype(np.float32)
+        assert np.array_equal(
+            block_nnz_grid(dense, 16, 32),
+            block_nnz_grid_reference(dense, 16, 32),
+        )
+        # COO with duplicates and explicit zeros exercises canonicalisation
+        coo = sp.coo_matrix(
+            (np.array([1.0, 2.0, 0.0, -2.0]),
+             ([0, 0, 5, 0], [0, 0, 5, 0])), shape=(64, 64),
+        )
+        assert np.array_equal(
+            block_nnz_grid(coo, 16, 16),
+            block_nnz_grid_reference(coo, 16, 16),
+        )
+        # canonical CSR carrying an explicit zero must skip the native
+        # indptr-slice path and still count exactly
+        csr = coo.tocsr()
+        assert csr.has_canonical_format and (csr.data == 0).any()
+        assert np.array_equal(
+            block_nnz_grid(csr, 16, 16),
+            block_nnz_grid_reference(csr, 16, 16),
+        )
+
+    def test_analyzer_decide_batch_matches_scalar(self):
+        analyzer = Analyzer(CFG)
+        ax, ay = _density_grid()
+        codes, transposed = analyzer.decide_batch(ax, ay)
+        for i in range(len(ax)):
+            dec = analyzer.decide(PairInfo(float(ax[i]), float(ay[i]),
+                                           512, 512, 128))
+            assert CODE_ORDER[codes[i]] is dec.primitive, (ax[i], ay[i])
+            assert bool(transposed[i]) == dec.transposed, (ax[i], ay[i])
+
+    @pytest.mark.parametrize("strategy", [
+        DynamicMapping(CFG), Static1(CFG), Static2(CFG), OracleMapping(CFG),
+        FixedMapping(CFG, Primitive.GEMM),
+    ], ids=lambda s: type(s).__name__)
+    def test_strategy_decide_batch_matches_scalar(self, strategy):
+        from repro.ir.kernel import KernelIR, KernelType
+
+        kernel = KernelIR(kernel_id="k1", layer_id=1,
+                          ktype=KernelType.AGGREGATE, input_dim=128,
+                          output_dim=128, num_vertices=512, num_edges=2048)
+        ax, ay = _density_grid(101)
+        n_arr = np.full(len(ax), 512, dtype=np.int64)
+        codes, transposed = strategy.decide_batch(kernel, ax, ay, 512,
+                                                  n_arr, 128)
+        for i in range(len(ax)):
+            dec = strategy.decide(kernel, PairInfo(float(ax[i]), float(ay[i]),
+                                                   512, 512, 128))
+            assert codes[i] == PRIMITIVE_CODES[dec.primitive], (ax[i], ay[i])
+            assert bool(transposed[i]) == dec.transposed
+
+    def test_base_class_batch_fallback_used_by_custom_strategy(self):
+        class OnlyScalar(MappingStrategy):
+            name = "only-scalar"
+
+            def decide(self, kernel, info):
+                from repro.hw.core import PairDecision
+                prim = (Primitive.GEMM if info.alpha_x >= 0.5
+                        else Primitive.SPMM)
+                return PairDecision(prim)
+
+        ax, ay = _density_grid(31)
+        codes, transposed = OnlyScalar(CFG).decide_batch(
+            None, ax, ay, 512, np.full(31, 512), 128)
+        expected = [PRIMITIVE_CODES[Primitive.GEMM] if a >= 0.5
+                    else PRIMITIVE_CODES[Primitive.SPMM] for a in ax]
+        assert codes.tolist() == expected
+        assert not transposed.any()
+
+    def test_model_cycles_batch_bit_exact(self):
+        ax, ay = _density_grid(67)
+        batch = model_cycles_batch(512, 512, 128, ax, ay, CFG)
+        for i, (code, prim) in enumerate(
+            [(0, Primitive.GEMM), (1, Primitive.SPDMM), (2, Primitive.SPMM)]
+        ):
+            for k in range(len(ax)):
+                assert batch[code, k] == model_cycles(
+                    prim, 512, 512, 128, float(ax[k]), float(ay[k]), CFG)
+
+    def test_argmin_and_region_batch_bit_exact(self):
+        ax, ay = _density_grid(67)
+        argmin = argmin_primitive_batch(512, 512, 128, ax, ay, CFG)
+        region = region_primitive_batch(ax, ay, CFG)
+        for k in range(len(ax)):
+            assert CODE_ORDER[argmin[k]] is argmin_primitive(
+                512, 512, 128, float(ax[k]), float(ay[k]), CFG)
+            assert CODE_ORDER[region[k]] is region_primitive(
+                float(ax[k]), float(ay[k]), CFG)
+
+    def test_batch_density_validation(self):
+        with pytest.raises(ValueError, match="densities"):
+            model_cycles_batch(8, 8, 8, np.array([1.5]), np.array([0.5]), CFG)
