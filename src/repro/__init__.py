@@ -54,6 +54,7 @@ from repro.runtime import (
     make_strategy,
 )
 from repro.dyngraph import GraphDelta, MutableGraph, ProgramPatcher
+from repro.shard import ShardedResult, ShardPlan, plan_shards, run_sharded
 from repro.serve import (
     InferenceRequest,
     InferenceResponse,
@@ -62,7 +63,7 @@ from repro.serve import (
     ServingReport,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: legacy top-level entry points -> (module, attribute, replacement hint).
 #: Accessing them still works but warns once per process: the Engine
@@ -136,6 +137,10 @@ __all__ = [
     "MutationRequest",
     "ProgramPatcher",
     "ServingReport",
+    "ShardPlan",
+    "ShardedResult",
+    "plan_shards",
+    "run_sharded",
     "RuntimeSystem",
     "end_to_end_seconds",
     "make_strategy",

@@ -8,6 +8,7 @@ Gives downstream users the paper's core experiment without writing code:
     python -m repro resources
     python -m repro datasets
     python -m repro serve-bench --pool 4 --requests 200 --arrival poisson
+    python -m repro shard-bench --dataset PU --shards 2,4
     python -m repro dyngraph-bench --dataset PU --edge-fraction 0.01
     python -m repro engine-bench --repeats 9
 
@@ -128,6 +129,63 @@ def cmd_engine_bench(args) -> int:
         config=config,
     )
     print(result.format_report())
+    return 0
+
+
+def cmd_shard_bench(args) -> int:
+    import numpy as np
+
+    try:
+        counts = sorted({int(s) for s in args.shards.split(",") if s.strip()})
+    except ValueError:
+        raise SystemExit(
+            f"shard-bench: --shards must be comma-separated integers, "
+            f"got {args.shards!r}"
+        )
+    if not counts or any(c < 1 for c in counts):
+        raise SystemExit("shard-bench: --shards entries must be >= 1")
+    engine = Engine(u250_default(), pool_size=max(counts))
+    handle = _compile(args, engine)
+    single = engine.infer(handle, strategy=args.strategy)
+    print(f"{handle.model_name} on {handle.data_name} "
+          f"(scale {handle.data.scale}), strategy {args.strategy}: "
+          f"single-device latency {sci(single.latency_ms)} ms")
+
+    rows, mismatches = [], []
+    last = None
+    for n in counts:
+        h = engine.compile(args.model, args.dataset, scale=args.scale,
+                           seed=args.seed, prune=args.prune, shards=n)
+        if h.shard_plan is None:  # shards=1 compiles unsharded by design
+            from repro.shard import plan_shards
+
+            h.shard_plan = plan_shards(h.program, n)
+        result = engine.infer(h, strategy=args.strategy, backend="sharded")
+        last = result
+        exact = bool(np.array_equal(
+            result.output_dense(), single.output_dense()
+        ))
+        if not exact:
+            mismatches.append(n)
+        rows.append([
+            result.num_shards, sci(result.latency_ms),
+            speedup_fmt(result.speedup_vs(single)),
+            f"{result.halo_bytes:,}",
+            f"{result.halo_fraction * 100:.1f}%",
+            f"{result.load_balance():.3f}",
+            "yes" if exact else "NO",
+        ])
+    print(format_table(
+        ["shards", "latency (ms)", "speedup", "halo bytes", "halo %",
+         "balance", "bit-exact"],
+        rows, title="sharded scaling vs single device (modelled)",
+    ))
+    if args.plan and last is not None:
+        print("\n" + last.plan.describe())
+    if mismatches:
+        print(f"\nFAIL: sharded output diverges from the single-device "
+              f"run at shard count(s) {mismatches}")
+        return 1
     return 0
 
 
@@ -487,6 +545,20 @@ def main(argv=None) -> int:
     p_cmp = sub.add_parser("compare", help="S1 vs S2 vs Dynamic")
     common(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_shard = sub.add_parser(
+        "shard-bench",
+        help="sharded multi-device scaling vs a single device "
+             "(repro.shard); exits 1 if outputs are not bit-exact",
+    )
+    common(p_shard)
+    p_shard.add_argument("--strategy", default="Dynamic",
+                        help="Dynamic | S1 | S2 | Oracle | Fixed-<prim>")
+    p_shard.add_argument("--shards", default="2,4",
+                        help="comma-separated shard counts to sweep")
+    p_shard.add_argument("--plan", action="store_true",
+                        help="print the largest sweep's shard plan")
+    p_shard.set_defaults(func=cmd_shard_bench)
 
     p_srv = sub.add_parser(
         "serve-bench",

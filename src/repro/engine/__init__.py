@@ -26,6 +26,7 @@ from repro.engine.backends import (
     GpuBackend,
     HeteroBackend,
     RooflineResult,
+    ShardedBackend,
     SimulatedBackend,
     backend_names,
     get_backend,
@@ -66,6 +67,7 @@ __all__ = [
     "ProgramCache",
     "ProgramHandle",
     "RooflineResult",
+    "ShardedBackend",
     "SimulatedBackend",
     "backend_names",
     "config_fingerprint",

@@ -39,6 +39,7 @@ __all__ = [
     "GpuBackend",
     "HeteroBackend",
     "RooflineResult",
+    "ShardedBackend",
     "SimulatedBackend",
     "backend_names",
     "get_backend",
@@ -181,6 +182,32 @@ class GpuBackend(_RooflineBackend):
     """Framework-on-GPU roofline baseline (default: PyG-GPU, Fig. 14)."""
 
     framework = "PyG-GPU"
+
+
+@register_backend("sharded")
+class ShardedBackend(ExecutionBackend):
+    """Multi-device sharded execution over the engine's accelerator pool.
+
+    Uses the handle's shard plan (``Engine.compile(..., shards=N)``), or
+    plans one shard per pool device when the handle carries none.  Each
+    layer's shards are booked concurrently on the pool with a per-layer
+    barrier and a PCIe halo-exchange charge for boundary vertices;
+    outputs are bit-exact against the ``simulated`` backend.  Returns a
+    :class:`~repro.shard.executor.ShardedResult`.
+    """
+
+    def run(self, handle: "ProgramHandle", *, strategy: str = "Dynamic"):
+        from repro.runtime.strategies import make_strategy
+        from repro.shard.executor import ShardedRuntime
+        from repro.shard.planner import plan_shards
+
+        plan = handle.shard_plan
+        if plan is None:
+            plan = plan_shards(handle.program, self.engine.pool.num_devices)
+        runtime = ShardedRuntime(
+            self.engine.pool, make_strategy(strategy, self.engine.config), plan
+        )
+        return runtime.run(handle.program)
 
 
 @register_backend("hetero")

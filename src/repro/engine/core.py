@@ -95,6 +95,9 @@ class ProgramHandle:
     cache_hit: bool = False
     graph_id: Optional[str] = None
     graph_version: Optional[int] = None
+    #: multi-device split planned by ``Engine.compile(..., shards=N)``;
+    #: consumed by the ``sharded`` execution backend (None = unsharded)
+    shard_plan: Optional[object] = None
 
     @property
     def model_name(self) -> str:
@@ -227,6 +230,7 @@ class Engine:
         seed: int = 0,
         prune: float = 0.0,
         weights: dict | None = None,
+        shards: int = 1,
     ) -> ProgramHandle:
         """Compile (or fetch from cache) a program for (model, graph).
 
@@ -237,6 +241,13 @@ class Engine:
         ``prune``) unless explicit ``weights`` are given — explicit
         weights bypass the program cache, since they are not part of the
         fingerprint.
+
+        ``shards > 1`` additionally plans an nnz-balanced multi-device
+        split of the program (:func:`repro.shard.planner.plan_shards`)
+        and attaches it as ``handle.shard_plan`` — run it with
+        ``engine.infer(handle, backend="sharded")``.  The compiled
+        program itself (and therefore its cache fingerprint) is
+        unchanged: sharding repartitions execution, not compilation.
         """
         graph_id: str | None = None
         graph_version: int | None = None
@@ -279,6 +290,11 @@ class Engine:
             program, compile_s, hit = self.cache.get_or_compile(key, compile_fn)
         if graph_id is not None and key is not None:
             self._graph_keys[graph_id][key] = graph_version
+        shard_plan = None
+        if shards != 1:
+            from repro.shard.planner import plan_shards
+
+            shard_plan = plan_shards(program, shards)
         return ProgramHandle(
             program=program,
             model=model_spec,
@@ -290,6 +306,7 @@ class Engine:
             cache_hit=hit,
             graph_id=graph_id,
             graph_version=graph_version,
+            shard_plan=shard_plan,
         )
 
     # -- infer ----------------------------------------------------------

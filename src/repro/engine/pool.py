@@ -91,6 +91,51 @@ class AcceleratorPool:
         )
         return device, start, end
 
+    def submit_group(
+        self,
+        service_s: float,
+        num_devices: int,
+        ready_s: float,
+        *,
+        busy_s: list | None = None,
+        batch_id: int = -1,
+        batch_size: int = 1,
+    ) -> tuple[list[int], float, float]:
+        """Book a barrier-synchronised group on ``num_devices`` devices.
+
+        The multi-device analogue of :meth:`submit`, used for sharded
+        executions: the ``num_devices`` earliest-available devices all
+        start together (the shards are lock-stepped by per-layer
+        barriers) and are all held until ``start + service_s``.
+        ``busy_s`` optionally gives each member's *actual* busy seconds
+        (its shard's work), so utilization stays honest while
+        availability reflects the barrier.  Returns
+        ``(devices, start, end)``.
+        """
+        if service_s < 0:
+            raise ValueError("service_s must be non-negative")
+        if not 1 <= num_devices <= self.num_devices:
+            raise ValueError(
+                f"group needs {num_devices} device(s), pool has "
+                f"{self.num_devices}"
+            )
+        if busy_s is not None and len(busy_s) != num_devices:
+            raise ValueError("busy_s must have one entry per group device")
+        starts = np.maximum(self.available, ready_s)
+        order = np.argsort(starts, kind="stable")
+        chosen = sorted(int(d) for d in order[:num_devices])
+        start = float(starts[chosen].max())
+        end = start + service_s
+        for idx, device in enumerate(chosen):
+            self.available[device] = end
+            self.busy[device] += (
+                service_s if busy_s is None else float(busy_s[idx])
+            )
+            self.events.append(
+                DispatchEvent(device, start, end, batch_id, batch_size)
+            )
+        return chosen, start, end
+
     @property
     def makespan_s(self) -> float:
         """Virtual time at which the last booked batch finishes."""

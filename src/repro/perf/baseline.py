@@ -64,9 +64,19 @@ class Regression:
 
     @property
     def is_regression(self) -> bool:
-        return self.classification == "regression"
+        # a unit/direction mismatch is a hard gate failure: the numeric
+        # comparison would have been made against the wrong tolerance
+        # band, so it must fail CI until the baseline is refreshed
+        return self.classification in ("regression", "mismatch")
 
     def describe(self) -> str:
+        if self.classification == "mismatch":
+            return (
+                f"{self.bench}.{self.metric}: metric unit/direction changed "
+                f"vs baseline ({self.unit}) — values are not comparable; "
+                f"refresh the baseline (repro bench --update-baseline) "
+                f"[MISMATCH]"
+            )
         arrow = {"regression": "WORSE", "improvement": "better", "within": "ok"}
         return (
             f"{self.bench}.{self.metric}: {self.baseline_value:g} -> "
@@ -117,6 +127,27 @@ def compare(
         if new.name not in base_names:
             continue
         base = baseline.metric(new.name)
+        if new.unit != base.unit or new.direction != base.direction:
+            # pairing by name alone would classify e.g. a seconds ->
+            # ratio change against the wrong tolerance band (and a
+            # direction flip would invert worse/better); fail hard
+            out.append(
+                Regression(
+                    bench=result.name,
+                    metric=new.name,
+                    unit=(
+                        f"{base.unit}/{base.direction} -> "
+                        f"{new.unit}/{new.direction}"
+                    ),
+                    direction=base.direction,
+                    baseline_value=base.value,
+                    new_value=new.value,
+                    worse_by=float("inf"),
+                    tolerance=0.0,
+                    classification="mismatch",
+                )
+            )
+            continue
         tol = metric_tolerance(base, merged)
         worse = _worse_by(new, base)
         if worse > tol:
@@ -138,7 +169,7 @@ def compare(
                 classification=cls,
             )
         )
-    out.sort(key=lambda r: (r.classification != "regression", r.bench, r.metric))
+    out.sort(key=lambda r: (not r.is_regression, r.bench, r.metric))
     return out
 
 

@@ -135,7 +135,7 @@ def run_suite(
                 continue
             report.comparisons.extend(compare(result, base))
         report.comparisons.sort(
-            key=lambda c: (c.classification != "regression", c.bench, c.metric)
+            key=lambda c: (not c.is_regression, c.bench, c.metric)
         )
     return report
 

@@ -153,6 +153,226 @@ class InferenceResult:
         return "\n".join(lines)
 
 
+@dataclass
+class KernelAssembly:
+    """Shared output-assembly state of one kernel.
+
+    Every task of a kernel writes a disjoint output partition, so the
+    assembly can be shared by executors that split one kernel's task
+    grid across devices (:mod:`repro.shard`): each device writes its own
+    blocks and :meth:`finalize` produces the same matrix the
+    single-device run assembles.
+    """
+
+    rows: int
+    cols: int
+    out_br: int
+    out_bc: int
+    dense_assembly: bool
+    out_dense: Optional[np.ndarray]
+    sp_rows: list = field(default_factory=list)
+    sp_cols: list = field(default_factory=list)
+    sp_vals: list = field(default_factory=list)
+    total_out_nnz: int = 0
+
+    @classmethod
+    def for_kernel(cls, xv, yv, scheme) -> "KernelAssembly":
+        rows, cols = xv.shape[0], yv.shape[1]
+        dense_assembly = rows * cols <= DENSE_ASSEMBLY_LIMIT
+        return cls(
+            rows=rows,
+            cols=cols,
+            out_br=scheme.out_blocking[0],
+            out_bc=scheme.out_blocking[1],
+            dense_assembly=dense_assembly,
+            out_dense=(
+                np.zeros((rows, cols), dtype=DTYPE) if dense_assembly else None
+            ),
+        )
+
+    def write(self, i: int, k: int, m: int, d: int, z: np.ndarray) -> None:
+        r0, c0 = i * self.out_br, k * self.out_bc
+        if self.dense_assembly:
+            self.out_dense[r0 : r0 + m, c0 : c0 + d] = z
+        else:
+            rr, cc = np.nonzero(z)
+            if rr.size:
+                self.sp_rows.append(rr.astype(np.int64) + r0)
+                self.sp_cols.append(cc.astype(np.int64) + c0)
+                self.sp_vals.append(z[rr, cc])
+
+    def finalize(self) -> tuple[object, float]:
+        """The assembled output matrix and its density."""
+        if self.dense_assembly:
+            out_mat: object = self.out_dense
+        elif self.sp_rows:
+            out_mat = sp.csr_matrix(
+                (
+                    np.concatenate(self.sp_vals),
+                    (np.concatenate(self.sp_rows), np.concatenate(self.sp_cols)),
+                ),
+                shape=(self.rows, self.cols),
+                dtype=DTYPE,
+            )
+        else:
+            out_mat = sp.csr_matrix((self.rows, self.cols), dtype=DTYPE)
+        elements = self.rows * self.cols
+        density = self.total_out_nnz / elements if elements else 0.0
+        return out_mat, density
+
+
+@dataclass
+class TaskLoopStats:
+    """Accounting one :func:`execute_kernel_tasks` call accumulates."""
+
+    report: CycleReport = field(default_factory=CycleReport)
+    counts: Counter = field(default_factory=Counter)
+    num_pairs: int = 0
+
+
+def execute_kernel_tasks(
+    kernel: KernelIR,
+    xv: PartitionedMatrix,
+    yv: PartitionedMatrix,
+    x_stored_sparse: bool,
+    y_stored_sparse: bool,
+    accelerator: Accelerator,
+    strategy: MappingStrategy,
+    timeline: CoreTimeline,
+    tasks: list,
+    assembly: KernelAssembly,
+    acc_view: Optional[PartitionedMatrix],
+    act,
+) -> TaskLoopStats:
+    """Execute a subset of one kernel's tasks on one accelerator.
+
+    The inner loop of the runtime (Analyzer batch decisions -> Scheduler
+    core assignment -> core execution -> output write-back), factored out
+    so the single-device :class:`RuntimeSystem` and the multi-device
+    :class:`~repro.shard.executor.ShardedRuntime` run the *same* code —
+    which is what makes sharded outputs bit-exact against single-device
+    runs.  ``tasks`` may be any subset of the kernel's task grid; writes
+    land in the shared ``assembly``.
+    """
+    acc = accelerator
+    soft = acc.soft_processor
+    stats = TaskLoopStats()
+
+    x_dens = xv.density_grid
+    y_dens = yv.density_grid
+    x_nnzg = xv._nnz_grid
+    y_nnzg = yv._nnz_grid
+    x_rs = xv.row_block_sizes
+    x_cs = xv.col_block_sizes
+    y_cs = yv.col_block_sizes
+
+    # only as many cores stream from DDR as there are concurrent tasks
+    concurrency = min(acc.num_cores, len(tasks))
+    for core in acc.cores:
+        core.active_cores = concurrency
+
+    for t_idx, task in enumerate(tasks):
+        i, k = task.out_row, task.out_col
+        m = int(x_rs[i])
+        d = int(y_cs[k])
+        # one vectorised Analyzer pass per task (Algorithm 7 over the
+        # K inner blocks) instead of a Python decide() call per pair
+        js = np.fromiter(
+            (p[0] for p in task.pairs), dtype=np.int64, count=len(task.pairs)
+        )
+        ax_arr = x_dens[i, js]
+        ay_arr = y_dens[js, k]
+        codes, transp = strategy.decide_batch(
+            kernel, ax_arr, ay_arr, m, x_cs[js], d
+        )
+        stats.num_pairs += len(js)
+        skipped = int((codes == SKIP_CODE).sum())
+        if skipped:
+            stats.counts[Primitive.SKIP] += skipped
+        pairs_work = []
+        for idx in np.flatnonzero(codes != SKIP_CODE):
+            j = int(js[idx])
+            decision = PairDecision(
+                CODE_ORDER[codes[idx]], transposed=bool(transp[idx])
+            )
+            n = int(x_cs[j])
+            x_nnz = int(x_nnzg[i, j])
+            y_nnz = int(y_nnzg[j, k])
+            # On-chip capacity fallback: SPMM randomly accesses its
+            # right operand during the row-wise product, so Y must be
+            # resident in COO form (3 words/nonzero).  When it does
+            # not fit BufferO, the runtime degrades the pair to SpDMM
+            # (whose sparse operand streams; the dense operand fits
+            # by g(So) construction).
+            if decision.primitive is Primitive.SPMM and not acc.cores[
+                0
+            ].coo_fits(y_nnz):
+                decision = PairDecision(Primitive.SPDMM)
+            x_elems = m * n
+            y_elems = n * d
+            x_spec = OperandSpec(
+                data=xv.block(i, j),
+                nbytes=12 * x_nnz if x_stored_sparse else 4 * x_elems,
+                nnz=x_nnz,
+                density=float(ax_arr[idx]),
+                stored_sparse=x_stored_sparse,
+                shape=(m, n),
+            )
+            y_spec = OperandSpec(
+                data=yv.block(j, k),
+                nbytes=12 * y_nnz if y_stored_sparse else 4 * y_elems,
+                nnz=y_nnz,
+                density=float(ay_arr[idx]),
+                stored_sparse=y_stored_sparse,
+                shape=(n, d),
+            )
+            pairs_work.append((x_spec, y_spec, decision))
+
+        acc_init = acc_view.dense_block(i, k) if acc_view is not None else None
+        if not pairs_work and acc_init is None:
+            # entire output partition is zero: the runtime skips the
+            # task outright (no dispatch, no write-back)
+            continue
+
+        core_id = timeline.peek_next_core()
+        core = acc.cores[core_id]
+        result = core.execute_task(
+            pairs_work,
+            (m, d),
+            write_sparse=not assembly.dense_assembly,
+            accumulate_init=acc_init,
+            activation=act,
+        )
+        dispatch_s = soft.dispatch_seconds(1) + soft.sparsity_receive_seconds(1)
+        duration = result.latency + soft.seconds_to_accel_cycles(dispatch_s)
+        timeline.assign_to(
+            core_id, duration, kernel_id=kernel.kernel_id, task_index=t_idx
+        )
+
+        stats.report.merge(result.report)
+        stats.counts.update(result.primitive_counts)
+        assembly.total_out_nnz += result.output_nnz
+        assembly.write(i, k, m, d, result.z)
+
+    return stats
+
+
+def exposed_analysis_cycles(
+    soft, analysis_s: float, num_tasks: int, kernel_cycles: float
+) -> float:
+    """§VI-B overlap: the Analyzer pipelines ahead of the Scheduler —
+    decisions for task t+1 run while the cores execute task t (and
+    kernel l+1's analysis can start during kernel l).  Exposed time
+    is therefore the lead-in (first task's decisions) plus any excess
+    of a kernel's total analysis over its own makespan (when the soft
+    processor cannot keep the cores fed)."""
+    a_cycles = soft.seconds_to_accel_cycles(analysis_s)
+    if a_cycles <= 0.0:
+        return 0.0
+    lead_in = a_cycles / max(num_tasks, 1)
+    return lead_in + max(0.0, a_cycles - kernel_cycles)
+
+
 class RuntimeSystem:
     """Drives one accelerator through one compiled program."""
 
@@ -186,19 +406,12 @@ class RuntimeSystem:
             analysis_seconds.append(analysis_s)
             kernel_cycles.append(ks.cycles)
 
-        # §VI-B overlap: the Analyzer pipelines ahead of the Scheduler —
-        # decisions for task t+1 run while the cores execute task t (and
-        # kernel l+1's analysis can start during kernel l).  Exposed time
-        # is therefore the lead-in (first task's decisions) plus any
-        # excess of a kernel's total analysis over its own makespan
-        # (when the soft processor cannot keep the cores fed).
-        exposed = 0.0
-        for i, ks in enumerate(kernel_stats):
-            a_cycles = soft.seconds_to_accel_cycles(analysis_seconds[i])
-            if a_cycles <= 0.0:
-                continue
-            lead_in = a_cycles / max(ks.num_tasks, 1)
-            exposed += lead_in + max(0.0, a_cycles - kernel_cycles[i])
+        exposed = sum(
+            exposed_analysis_cycles(
+                soft, analysis_seconds[i], ks.num_tasks, kernel_cycles[i]
+            )
+            for i, ks in enumerate(kernel_stats)
+        )
 
         output = local_store[program.output_name]
         return InferenceResult(
@@ -262,21 +475,6 @@ class RuntimeSystem:
         x_stored_sparse = stored_sparse[kernel.x_name]
         y_stored_sparse = stored_sparse[kernel.y_name]
 
-        x_dens = xv.density_grid
-        y_dens = yv.density_grid
-        x_nnzg = xv._nnz_grid
-        y_nnzg = yv._nnz_grid
-        x_rs = xv.row_block_sizes
-        x_cs = xv.col_block_sizes
-        y_cs = yv.col_block_sizes
-
-        rows, cols = xv.shape[0], yv.shape[1]
-        dense_assembly = rows * cols <= DENSE_ASSEMBLY_LIMIT
-        out_dense = np.zeros((rows, cols), dtype=DTYPE) if dense_assembly else None
-        sp_rows: list[np.ndarray] = []
-        sp_cols: list[np.ndarray] = []
-        sp_vals: list[np.ndarray] = []
-
         act = (
             activation_fn(kernel.activation) if kernel.activation_enabled else None
         )
@@ -286,150 +484,42 @@ class RuntimeSystem:
             if kernel.accumulate_into
             else None
         )
-        out_br, out_bc = scheme.out_blocking
-
-        report = CycleReport()
-        counts: Counter = Counter()
-        num_pairs = 0
-        total_out_nnz = 0
+        assembly = KernelAssembly.for_kernel(xv, yv, scheme)
         busy_before = timeline.busy.copy()
 
-        # only as many cores stream from DDR as there are concurrent tasks
-        concurrency = min(acc.num_cores, scheme.num_tasks)
-        for core in acc.cores:
-            core.active_cores = concurrency
-
-        for t_idx, task in enumerate(scheme.tasks()):
-            i, k = task.out_row, task.out_col
-            m = int(x_rs[i])
-            d = int(y_cs[k])
-            # one vectorised Analyzer pass per task (Algorithm 7 over the
-            # K inner blocks) instead of a Python decide() call per pair
-            js = np.fromiter(
-                (p[0] for p in task.pairs), dtype=np.int64, count=len(task.pairs)
-            )
-            ax_arr = x_dens[i, js]
-            ay_arr = y_dens[js, k]
-            codes, transp = self.strategy.decide_batch(
-                kernel, ax_arr, ay_arr, m, x_cs[js], d
-            )
-            num_pairs += len(js)
-            skipped = int((codes == SKIP_CODE).sum())
-            if skipped:
-                counts[Primitive.SKIP] += skipped
-            pairs_work = []
-            for idx in np.flatnonzero(codes != SKIP_CODE):
-                j = int(js[idx])
-                decision = PairDecision(
-                    CODE_ORDER[codes[idx]], transposed=bool(transp[idx])
-                )
-                n = int(x_cs[j])
-                x_nnz = int(x_nnzg[i, j])
-                y_nnz = int(y_nnzg[j, k])
-                # On-chip capacity fallback: SPMM randomly accesses its
-                # right operand during the row-wise product, so Y must be
-                # resident in COO form (3 words/nonzero).  When it does
-                # not fit BufferO, the runtime degrades the pair to SpDMM
-                # (whose sparse operand streams; the dense operand fits
-                # by g(So) construction).
-                if decision.primitive is Primitive.SPMM and not acc.cores[
-                    0
-                ].coo_fits(y_nnz):
-                    decision = PairDecision(Primitive.SPDMM)
-                x_elems = m * n
-                y_elems = n * d
-                x_spec = OperandSpec(
-                    data=xv.block(i, j),
-                    nbytes=12 * x_nnz if x_stored_sparse else 4 * x_elems,
-                    nnz=x_nnz,
-                    density=float(ax_arr[idx]),
-                    stored_sparse=x_stored_sparse,
-                    shape=(m, n),
-                )
-                y_spec = OperandSpec(
-                    data=yv.block(j, k),
-                    nbytes=12 * y_nnz if y_stored_sparse else 4 * y_elems,
-                    nnz=y_nnz,
-                    density=float(ay_arr[idx]),
-                    stored_sparse=y_stored_sparse,
-                    shape=(n, d),
-                )
-                pairs_work.append((x_spec, y_spec, decision))
-
-            acc_init = acc_view.dense_block(i, k) if acc_view is not None else None
-            if not pairs_work and acc_init is None:
-                # entire output partition is zero: the runtime skips the
-                # task outright (no dispatch, no write-back)
-                continue
-
-            core_id = timeline.peek_next_core()
-            core = acc.cores[core_id]
-            result = core.execute_task(
-                pairs_work,
-                (m, d),
-                write_sparse=not dense_assembly,
-                accumulate_init=acc_init,
-                activation=act,
-            )
-            dispatch_s = soft.dispatch_seconds(1) + soft.sparsity_receive_seconds(1)
-            duration = result.latency + soft.seconds_to_accel_cycles(dispatch_s)
-            timeline.assign_to(
-                core_id, duration, kernel_id=kernel.kernel_id, task_index=t_idx
-            )
-
-            report.merge(result.report)
-            counts.update(result.primitive_counts)
-            total_out_nnz += result.output_nnz
-
-            r0, c0 = i * out_br, k * out_bc
-            if dense_assembly:
-                out_dense[r0 : r0 + m, c0 : c0 + d] = result.z
-            else:
-                rr, cc = np.nonzero(result.z)
-                if rr.size:
-                    sp_rows.append(rr.astype(np.int64) + r0)
-                    sp_cols.append(cc.astype(np.int64) + c0)
-                    sp_vals.append(result.z[rr, cc])
-
+        stats = execute_kernel_tasks(
+            kernel, xv, yv, x_stored_sparse, y_stored_sparse,
+            acc, self.strategy, timeline, scheme.tasks(), assembly,
+            acc_view, act,
+        )
         cycles = timeline.barrier()
 
         # assemble + store the produced feature matrix
-        if dense_assembly:
-            out_mat: object = out_dense
-        else:
-            if sp_rows:
-                out_mat = sp.csr_matrix(
-                    (
-                        np.concatenate(sp_vals),
-                        (np.concatenate(sp_rows), np.concatenate(sp_cols)),
-                    ),
-                    shape=(rows, cols),
-                    dtype=DTYPE,
-                )
-            else:
-                out_mat = sp.csr_matrix((rows, cols), dtype=DTYPE)
-        out_density = total_out_nnz / (rows * cols) if rows * cols else 0.0
+        out_mat, out_density = assembly.finalize()
         local_store[kernel.out_name] = out_mat
         stored_sparse[kernel.out_name] = (
-            choose_storage_format(out_density) if dense_assembly else True
+            choose_storage_format(out_density)
+            if assembly.dense_assembly
+            else True
         )
         # drop any stale views of this name (re-runs within one program)
         for key in [kk for kk in local_views if kk[0] == kernel.out_name]:
             del local_views[key]
 
         analysis_s = (
-            soft.k2p_decision_seconds(num_pairs)
+            soft.k2p_decision_seconds(stats.num_pairs)
             if self.strategy.charges_analysis
             else 0.0
         )
 
+        report = stats.report
         ks = KernelStats(
             kernel_id=kernel.kernel_id,
             ktype=kernel.ktype,
             num_tasks=scheme.num_tasks,
-            num_pairs=num_pairs,
+            num_pairs=stats.num_pairs,
             cycles=cycles,
-            primitive_counts=counts,
+            primitive_counts=stats.counts,
             macs=report.macs,
             bytes_read=report.bytes_read,
             bytes_written=report.bytes_written,

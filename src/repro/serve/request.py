@@ -58,6 +58,9 @@ class InferenceRequest:
     scale: Optional[float] = None
     #: weight/dataset generation seed
     seed: int = 0
+    #: devices this query shards across (1 = whole-query on one device;
+    #: >1 splits the graph by nnz-balanced vertex ranges, repro.shard)
+    shards: int = 1
     #: arrival time on the virtual clock, in seconds
     arrival_s: float = 0.0
     request_id: int = field(default_factory=lambda: next(_request_ids))
@@ -70,9 +73,9 @@ class InferenceRequest:
         )
 
     def batch_key(self, config: AcceleratorConfig) -> tuple:
-        """Fingerprint of the (program, strategy) execution this request
-        can share with others in one micro-batch."""
-        return self.program_key(config) + (self.strategy,)
+        """Fingerprint of the (program, strategy, shard width) execution
+        this request can share with others in one micro-batch."""
+        return self.program_key(config) + (self.strategy, self.shards)
 
     @property
     def dataset_name(self) -> str:
@@ -122,8 +125,13 @@ class InferenceResponse:
     cache_hit: bool
     batch_id: int
     batch_size: int
+    #: lowest-numbered device of the batch's booking (a sharded batch
+    #: occupies ``shards`` pool devices, chosen earliest-available — not
+    #: necessarily consecutive)
     device: int
     accel_cycles: float
+    #: devices the execution was sharded across (1 = unsharded)
+    shards: int = 1
     #: model output — a read-only ndarray shared by every response served
     #: from the same (program, strategy); copy before mutating.  None when
     #: the server runs with ``return_outputs=False``

@@ -56,12 +56,20 @@ __all__ = ["MUTATION_POLICIES", "InferenceServer", "ServingReport"]
 
 @dataclass(frozen=True)
 class _RunMemo:
-    """Replayable outcome of one distinct (program, strategy) execution."""
+    """Replayable outcome of one distinct (program, strategy, shards)
+    execution."""
 
     latency_s: float
     accel_cycles: float
     #: dense output, kept only when the server returns outputs
     output: np.ndarray | None
+    #: devices the execution spans (1 = unsharded)
+    shards: int = 1
+    #: per-shard device-occupancy seconds (empty when unsharded)
+    shard_busy_s: tuple = ()
+    #: halo-exchange traffic of one sharded execution
+    halo_bytes: int = 0
+    halo_s: float = 0.0
 
 
 @dataclass
@@ -98,6 +106,14 @@ class ServingReport:
     num_patch_fallbacks: int = 0
     patch_s: float = 0.0
     mutation_evictions: int = 0
+    #: sharded-execution accounting (zero on unsharded sweeps): batches
+    #: that occupied multiple pool devices, the requests they carried,
+    #: the widest shard fan-out, and the halo traffic charged
+    sharded_batches: int = 0
+    sharded_requests: int = 0
+    max_shard_width: int = 0
+    halo_bytes: int = 0
+    halo_s: float = 0.0
     responses: list[InferenceResponse] = field(repr=False, default_factory=list)
 
     def format_report(self) -> str:
@@ -123,6 +139,13 @@ class ServingReport:
             f"  device utilization: {util} (load balance "
             f"{self.load_balance:.3f})",
         ]
+        if self.sharded_batches:
+            lines.append(
+                f"  sharded execution : {self.sharded_batches} batches "
+                f"({self.sharded_requests} requests, up to "
+                f"{self.max_shard_width} devices each), halo "
+                f"{self.halo_bytes:,} B / {self.halo_s * 1e3:.3f} ms"
+            )
         if self.num_mutations:
             lines.append(
                 f"  graph mutations   : {self.num_mutations} applied, "
@@ -200,7 +223,14 @@ class InferenceServer:
         #: LRU-bounded alongside the program cache so long-lived servers
         #: don't accumulate outputs for programs that were evicted
         self._run_memo: OrderedDict[tuple, _RunMemo] = OrderedDict()
-        self._lru_capacity = self.engine.cache.capacity
+
+    @property
+    def _lru_capacity(self) -> int:
+        """The memo LRU bound, read live from the engine's cache so the
+        memo keeps tracking the engine even if the cache is re-bounded
+        after the server is constructed (it used to be frozen at
+        construction time)."""
+        return self.engine.cache.capacity
 
     # -- engine-owned resources (shared, never duplicated here) ---------
     @property
@@ -283,13 +313,30 @@ class InferenceServer:
 
     # -- execution ------------------------------------------------------
     def _execute(self, key: tuple, program: CompiledProgram, strategy: str,
-                 ready_s: float) -> _RunMemo:
+                 ready_s: float, shards: int = 1) -> _RunMemo:
         memo = self._run_memo.get(key)
         if memo is None:
-            device = self.pool.peek_device(ready_s)
-            result = run_strategy(
-                program, strategy, accelerator=self.pool.devices[device]
-            )
+            if shards > 1:
+                from repro.shard.executor import run_sharded
+
+                result = run_sharded(
+                    program, shards, strategy_name=strategy,
+                    pool=self.pool, book_on_pool=False,
+                )
+                extra = dict(
+                    shards=result.num_shards,
+                    shard_busy_s=tuple(float(b) for b in result.shard_busy_s),
+                    halo_bytes=result.halo_bytes,
+                    halo_s=result.halo_s,
+                )
+                accel_cycles = result.latency_s * self.config.freq_hz
+            else:
+                device = self.pool.peek_device(ready_s)
+                result = run_strategy(
+                    program, strategy, accelerator=self.pool.devices[device]
+                )
+                extra = {}
+                accel_cycles = result.total_cycles
             output = None
             if self.return_outputs:
                 output = result.output_dense()
@@ -299,11 +346,12 @@ class InferenceServer:
                 output.setflags(write=False)
             memo = _RunMemo(
                 latency_s=result.latency_s,
-                accel_cycles=result.total_cycles,
+                accel_cycles=accel_cycles,
                 output=output,
+                **extra,
             )
             self._run_memo[key] = memo
-            if len(self._run_memo) > self._lru_capacity:
+            while len(self._run_memo) > self._lru_capacity:
                 self._run_memo.popitem(last=False)
         else:
             self._run_memo.move_to_end(key)
@@ -317,20 +365,42 @@ class InferenceServer:
         responses: list[InferenceResponse],
         compile_charges: dict[int, float],
         hit_flags: dict[int, bool],
+        shard_counters: dict | None = None,
     ) -> None:
         program = programs[batch.key]
-        strategy = batch.key[-1]
+        first = batch.requests[0]
+        strategy, shards = first.strategy, first.shards
         ready_s = max(batch.ready_s, close_s)
-        memo = self._execute(batch.key, program, strategy, ready_s)
+        memo = self._execute(batch.key, program, strategy, ready_s, shards)
         # PCIe input transfer and K2P analysis (inside latency_s) are paid
         # once for the whole batch — the amortization micro-batching buys
-        service_s = (
-            pcie_transfer_seconds(program.input_bytes(), self.config)
-            + memo.latency_s
-        )
-        device, start, end = self.pool.submit(
-            service_s, ready_s, batch_id=batch.batch_id, batch_size=batch.size
-        )
+        input_s = pcie_transfer_seconds(program.input_bytes(), self.config)
+        service_s = input_s + memo.latency_s
+        if memo.shards > 1:
+            # a sharded batch occupies all of its shard devices from the
+            # common start to the last per-layer barrier; per-device busy
+            # stays honest (each shard's own work + its input-PCIe share)
+            busy = [
+                b + input_s / memo.shards for b in memo.shard_busy_s
+            ]
+            devices, start, end = self.pool.submit_group(
+                service_s, memo.shards, ready_s, busy_s=busy,
+                batch_id=batch.batch_id, batch_size=batch.size,
+            )
+            device = devices[0]
+            if shard_counters is not None:
+                shard_counters["batches"] += 1
+                shard_counters["requests"] += batch.size
+                shard_counters["width"] = max(
+                    shard_counters["width"], memo.shards
+                )
+                shard_counters["halo_bytes"] += memo.halo_bytes
+                shard_counters["halo_s"] += memo.halo_s
+        else:
+            device, start, end = self.pool.submit(
+                service_s, ready_s, batch_id=batch.batch_id,
+                batch_size=batch.size,
+            )
         for req in batch.requests:
             responses.append(
                 InferenceResponse(
@@ -343,10 +413,14 @@ class InferenceServer:
                     start_s=start,
                     finish_s=end,
                     service_s=service_s,
-                    cache_hit=hit_flags.get(req.request_id, True),
+                    # strict: a request missing from the accounting maps
+                    # is an admission bug — raising beats silently
+                    # reporting it as a cache hit (inflated hit rates)
+                    cache_hit=hit_flags[req.request_id],
                     batch_id=batch.batch_id,
                     batch_size=batch.size,
                     device=device,
+                    shards=memo.shards,
                     accel_cycles=memo.accel_cycles,
                     output=memo.output if self.return_outputs else None,
                 )
@@ -368,6 +442,10 @@ class InferenceServer:
         mutation_counters = {
             "mutations": 0, "patches": 0, "fallbacks": 0,
             "patch_s": 0.0, "evictions": 0,
+        }
+        shard_counters = {
+            "batches": 0, "requests": 0, "width": 0,
+            "halo_bytes": 0, "halo_s": 0.0,
         }
 
         programs: dict[tuple, CompiledProgram] = {}
@@ -405,8 +483,17 @@ class InferenceServer:
                 )
                 continue
             req, graph_id = self._resolve(event)
+            if req.shards < 1:
+                raise ValueError(
+                    f"request {req.request_id} asks for {req.shards} shards"
+                )
+            if req.shards > self.pool.num_devices:
+                raise ValueError(
+                    f"request {req.request_id} asks for {req.shards} shards "
+                    f"but the pool has {self.pool.num_devices} device(s)"
+                )
+            prog_key = req.program_key(self.config)
             pkey = req.batch_key(self.config)
-            prog_key = pkey[:-1]
             program, compile_s, hit = self.cache.get_or_compile(
                 prog_key, lambda: self._compile(req)
             )
@@ -436,7 +523,8 @@ class InferenceServer:
         flushed.sort(key=lambda item: item[:2])
         for ready_s, _, batch in flushed:
             self._dispatch(
-                batch, ready_s, programs, responses, compile_charges, hit_flags
+                batch, ready_s, programs, responses, compile_charges,
+                hit_flags, shard_counters,
             )
         num_batches = len(flushed)
 
@@ -448,6 +536,7 @@ class InferenceServer:
             compile_s=self.cache.compile_s - compile0,
             saved_s=self.cache.saved_s - saved0,
             mutation_counters=mutation_counters,
+            shard_counters=shard_counters,
         )
 
     # -- reporting ------------------------------------------------------
@@ -461,6 +550,7 @@ class InferenceServer:
         compile_s: float,
         saved_s: float,
         mutation_counters: dict | None = None,
+        shard_counters: dict | None = None,
     ) -> ServingReport:
         n = len(responses)
         if n:
@@ -510,6 +600,11 @@ class InferenceServer:
             num_patch_fallbacks=(mutation_counters or {}).get("fallbacks", 0),
             patch_s=(mutation_counters or {}).get("patch_s", 0.0),
             mutation_evictions=(mutation_counters or {}).get("evictions", 0),
+            sharded_batches=(shard_counters or {}).get("batches", 0),
+            sharded_requests=(shard_counters or {}).get("requests", 0),
+            max_shard_width=(shard_counters or {}).get("width", 0),
+            halo_bytes=(shard_counters or {}).get("halo_bytes", 0),
+            halo_s=(shard_counters or {}).get("halo_s", 0.0),
             responses=responses,
         )
 
@@ -523,14 +618,21 @@ class InferenceServer:
         """
         request, _ = self._resolve(request)
         key = request.batch_key(self.config)
-        program = self.cache.peek(key[:-1])
+        program = self.cache.peek(request.program_key(self.config))
         if program is None:
             program = self._compile(request)
         memo = self._run_memo.get(key)
-        latency_s = (
-            memo.latency_s if memo is not None
-            else run_strategy(program, request.strategy).latency_s
-        )
+        if memo is not None:
+            latency_s = memo.latency_s
+        elif request.shards > 1:
+            from repro.shard.executor import run_sharded
+
+            latency_s = run_sharded(
+                program, request.shards, strategy_name=request.strategy,
+                book_on_pool=False,
+            ).latency_s
+        else:
+            latency_s = run_strategy(program, request.strategy).latency_s
         return (
             pcie_transfer_seconds(program.input_bytes(), self.config)
             + latency_s

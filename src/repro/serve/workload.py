@@ -51,21 +51,39 @@ def bursty_arrivals(
 ) -> np.ndarray:
     """Bursts of ``burst_size`` near-simultaneous arrivals.
 
-    Bursts are spaced so the long-run mean rate is still ``rate_rps``;
-    within a burst, requests land within ``burst_spread_s`` (default: 1%
-    of the burst period).
+    Matches :func:`steady_arrivals`' rate contract: the achieved mean
+    rate ``num_requests / max(times)`` equals ``rate_rps`` up to the
+    within-burst spread, including when the final burst is partial
+    (burst *deadlines* are placed at the cumulative request count over
+    ``rate_rps``, so the stream always ends at ``num_requests /
+    rate_rps``).  Requests land within ``burst_spread_s`` (default: 1%
+    of the burst period) *before* their burst's deadline; the spread is
+    clamped below the smallest inter-burst gap so bursts cannot dissolve
+    into each other after the final sort.
     """
     if rate_rps <= 0:
         raise ValueError("rate_rps must be positive")
     if burst_size < 1:
         raise ValueError("burst_size must be >= 1")
+    if burst_spread_s is not None and burst_spread_s < 0:
+        raise ValueError("burst_spread_s must be >= 0")
     rng = np.random.default_rng(seed)
     period = burst_size / rate_rps
+    idx = np.arange(num_requests)
+    deadlines = np.minimum((idx // burst_size + 1) * burst_size,
+                           num_requests) / rate_rps
+    # the last burst may be partial: its gap to the previous deadline is
+    # smaller than a full period, and it bounds how far arrivals may be
+    # smeared backwards without merging bursts (or going negative when
+    # there is only one burst).  The spread is clamped to half that gap
+    # so every burst stays separated from its neighbours by at least the
+    # spread itself — a spread of a full period would smear arrivals
+    # uniformly and dissolve the burst structure entirely
+    last_size = num_requests - ((num_requests - 1) // burst_size) * burst_size
+    max_spread = 0.5 * min(period, last_size / rate_rps)
     spread = period * 0.01 if burst_spread_s is None else burst_spread_s
-    times = np.empty(num_requests)
-    for i in range(num_requests):
-        burst = i // burst_size
-        times[i] = burst * period + rng.uniform(0.0, spread)
+    spread = min(spread, max_spread)
+    times = deadlines - rng.uniform(0.0, spread, size=num_requests)
     return np.sort(times)
 
 
@@ -98,14 +116,18 @@ def synthesize(
     scale: float | None = None,
     skew: float = 0.0,
     seed: int = 0,
+    shards: int = 1,
 ) -> list[InferenceRequest]:
     """Build a deterministic request stream for the server.
 
     The content mix is the cross product of ``models x datasets x
     strategies x prune_levels``, sampled uniformly (``skew=0``) or with
     Zipf popularity (``skew>0`` — hot programs dominate, which is what
-    makes the program cache pay off).
+    makes the program cache pay off).  ``shards > 1`` marks every
+    request for sharded multi-device execution (``repro.shard``).
     """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
     if num_requests < 1:
         raise ValueError("num_requests must be >= 1")
     if arrival not in ARRIVAL_KINDS:
@@ -139,6 +161,7 @@ def synthesize(
                 prune=prune,
                 scale=scale,
                 seed=seed,
+                shards=shards,
                 arrival_s=float(t),
             )
         )

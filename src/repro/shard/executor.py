@@ -1,0 +1,392 @@
+"""Sharded multi-device execution of one inference.
+
+:class:`ShardedRuntime` runs one compiled program across the devices of
+an :class:`~repro.engine.pool.AcceleratorPool`, one shard (contiguous
+vertex range, planned by :func:`~repro.shard.planner.plan_shards`) per
+device:
+
+- every kernel's task grid is split by output block row, and each
+  shard's subset runs through the *same*
+  :func:`~repro.runtime.executor.execute_kernel_tasks` inner loop the
+  single-device runtime uses, on the shard's own device — outputs are
+  therefore **bit-exact** against a single-device ``run_strategy``;
+- a **per-layer barrier** separates kernels: the layer's modelled time
+  is the slowest shard's (halo + analysis-exposed + execution) time,
+  exactly how Algorithm 8's per-kernel barrier works one level down;
+- before each Aggregate kernel every shard receives the feature rows of
+  its **halo** vertices (boundary vertices its adjacency slice
+  references outside its own range) over PCIe, charged with the same
+  :func:`~repro.hw.memory.pcie_transfer_seconds` model the hetero
+  executor and the serving layer use.  Update kernels are row-parallel
+  and exchange nothing (weights are replicated).
+
+The functional simulation executes each task exactly once in total —
+sharding repartitions the existing work, so a sharded run costs no more
+host time to simulate than a single-device one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.compiler.compile import CompiledProgram
+from repro.compiler.sparsity import choose_storage_format
+from repro.config import AcceleratorConfig
+from repro.engine.pool import AcceleratorPool
+from repro.formats.dense import DTYPE
+from repro.formats.partition import PartitionedMatrix
+from repro.gnn.activations import activation_fn
+from repro.hw.memory import pcie_transfer_seconds
+from repro.ir.kernel import KernelType
+from repro.runtime.executor import (
+    InferenceResult,
+    KernelAssembly,
+    execute_kernel_tasks,
+    exposed_analysis_cycles,
+)
+from repro.runtime.scheduler import CoreTimeline
+from repro.runtime.strategies import MappingStrategy, make_strategy
+from repro.shard.planner import ShardPlan, halo_vertices, plan_shards
+
+__all__ = ["ShardKernelStats", "ShardedResult", "ShardedRuntime", "run_sharded"]
+
+
+@dataclass
+class ShardKernelStats:
+    """Per-shard accounting of one kernel under the layer barrier."""
+
+    kernel_id: str
+    ktype: KernelType
+    #: per-shard accelerator makespan (cycles)
+    shard_cycles: np.ndarray
+    #: per-shard exposed K2P analysis (cycles)
+    shard_exposed_cycles: np.ndarray
+    #: per-shard halo-exchange time (seconds; zero for Update kernels)
+    shard_halo_s: np.ndarray
+    #: per-shard halo bytes received
+    shard_halo_bytes: np.ndarray
+    #: per-shard task / pair counts
+    shard_tasks: np.ndarray
+    shard_pairs: np.ndarray
+    #: per-shard wall seconds (halo + exposed + execution)
+    shard_seconds: np.ndarray
+    #: the layer barrier: max over shards of ``shard_seconds``
+    barrier_s: float
+
+
+@dataclass
+class ShardedResult:
+    """Outcome of one sharded run: exact output + the modelled schedule."""
+
+    output: object  # ndarray | csr_matrix
+    plan: ShardPlan
+    strategy_name: str
+    model_name: str
+    data_name: str
+    config: AcceleratorConfig
+    kernel_stats: list[ShardKernelStats] = field(default_factory=list)
+    #: total soft-processor K2P analysis time across shards (seconds)
+    runtime_overhead_seconds: float = 0.0
+
+    @property
+    def num_shards(self) -> int:
+        return self.plan.num_shards
+
+    @property
+    def latency_s(self) -> float:
+        """Modelled end-to-end latency: the sum of layer barriers."""
+        return float(sum(ks.barrier_s for ks in self.kernel_stats))
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_s * 1e3
+
+    @property
+    def shard_busy_s(self) -> np.ndarray:
+        """Per-shard device-occupancy seconds (sum over kernels)."""
+        if not self.kernel_stats:
+            return np.zeros(self.num_shards)
+        return np.sum([ks.shard_seconds for ks in self.kernel_stats], axis=0)
+
+    @property
+    def halo_bytes(self) -> int:
+        """Total boundary-feature bytes moved between devices."""
+        return int(
+            sum(int(ks.shard_halo_bytes.sum()) for ks in self.kernel_stats)
+        )
+
+    @property
+    def halo_s(self) -> float:
+        """Total PCIe time spent on halo exchange (all shards)."""
+        return float(
+            sum(float(ks.shard_halo_s.sum()) for ks in self.kernel_stats)
+        )
+
+    @property
+    def halo_fraction(self) -> float:
+        """Halo-exchange share of total device occupancy, in [0, 1]."""
+        busy = float(self.shard_busy_s.sum())
+        return self.halo_s / busy if busy > 0 else 0.0
+
+    def load_balance(self) -> float:
+        """Mean shard busy time / max shard busy time; 1.0 = even."""
+        busy = self.shard_busy_s
+        mx = float(busy.max()) if busy.size else 0.0
+        if mx == 0.0:
+            return 1.0
+        return min(float(busy.mean()) / mx, 1.0)
+
+    def speedup_vs(self, single: InferenceResult) -> float:
+        """Modelled speedup over a single-device run (>1 = faster)."""
+        return single.latency_s / self.latency_s
+
+    def output_dense(self) -> np.ndarray:
+        if sp.issparse(self.output):
+            return np.asarray(self.output.todense(), dtype=DTYPE)
+        return np.asarray(self.output, dtype=DTYPE)
+
+    def format_report(self) -> str:
+        lines = [
+            f"{self.model_name} on {self.data_name} — strategy "
+            f"{self.strategy_name}, {self.num_shards} shard(s)",
+            f"  modelled latency  : {self.latency_ms:.4f} ms "
+            f"(halo {self.halo_s * 1e3:.4f} ms over "
+            f"{self.halo_bytes:,} bytes, "
+            f"{self.halo_fraction * 100:.2f}% of device time)",
+            f"  shard balance     : {self.load_balance():.3f} "
+            f"(nnz balance {self.plan.nnz_balance():.3f})",
+            f"  {'kernel':<20}{'barrier ms':>12}{'slowest':>9}"
+            f"{'halo ms':>9}  per-shard ms",
+        ]
+        for ks in self.kernel_stats:
+            per = ", ".join(f"{s * 1e3:.3f}" for s in ks.shard_seconds)
+            lines.append(
+                f"  {ks.kernel_id:<20}{ks.barrier_s * 1e3:>12.4f}"
+                f"{int(np.argmax(ks.shard_seconds)):>9}"
+                f"{float(ks.shard_halo_s.max()) * 1e3:>9.4f}  [{per}]"
+            )
+        return "\n".join(lines)
+
+
+class ShardedRuntime:
+    """Drives one program across the devices of an accelerator pool.
+
+    Shard ``s``'s functional/cycle simulation runs on the hardware state
+    of ``pool.devices[s]`` (devices are identical), so the pool must
+    hold at least as many devices as the plan has shards.  With
+    ``book_on_pool`` (default) the schedule is also recorded on the
+    pool's virtual clock: each layer books one barrier-synchronised
+    group (:meth:`~repro.engine.pool.AcceleratorPool.submit_group`) on
+    the earliest-available devices, with per-shard busy seconds, and the
+    next layer is ready only after the slowest shard of the previous one
+    — the per-layer barrier.
+    """
+
+    def __init__(
+        self,
+        pool: AcceleratorPool,
+        strategy: MappingStrategy,
+        plan: ShardPlan,
+        *,
+        book_on_pool: bool = True,
+    ) -> None:
+        if plan.num_shards > pool.num_devices:
+            raise ValueError(
+                f"plan has {plan.num_shards} shards but the pool only has "
+                f"{pool.num_devices} device(s); grow the pool or request "
+                f"fewer shards"
+            )
+        if pool.config.psys != strategy.config.psys:
+            raise ValueError("strategy and pool configs disagree")
+        self.pool = pool
+        self.strategy = strategy
+        self.plan = plan
+        self.book_on_pool = book_on_pool
+        #: per-operand halo vertex counts, cached across kernels; the
+        #: plan already computed the balance adjacency's counts
+        self._halo_cache: dict[str, np.ndarray] = {}
+        if plan.halo.size == plan.num_shards:
+            self._halo_cache[plan.adjacency_name] = np.asarray(
+                plan.halo, dtype=np.int64
+            )
+
+    # -- halo -----------------------------------------------------------
+    def _halo_counts(self, program: CompiledProgram, x_name: str) -> np.ndarray:
+        counts = self._halo_cache.get(x_name)
+        if counts is None:
+            a = program.view(x_name, program.n1, program.n1).matrix
+            counts = np.array(
+                [halo_vertices(a, s.v0, s.v1) for s in self.plan.shards],
+                dtype=np.int64,
+            )
+            self._halo_cache[x_name] = counts
+        return counts
+
+    # -- execution ------------------------------------------------------
+    def run(self, program: CompiledProgram) -> ShardedResult:
+        plan = self.plan
+        config = self.pool.config
+        devices = self.pool.devices[: plan.num_shards]
+        for dev in devices:
+            dev.reset()
+        timelines = [CoreTimeline(dev.num_cores) for dev in devices]
+
+        local_store: dict = {}
+        local_views: dict = {}
+        stored_sparse = dict(program.stored_sparse)
+
+        kernel_stats: list[ShardKernelStats] = []
+        analysis_total = 0.0
+        layer_ready = 0.0
+
+        def view(name: str, blocking: tuple[int, int]) -> PartitionedMatrix:
+            if name in local_store:
+                key = (name, blocking[0], blocking[1])
+                pm = local_views.get(key)
+                if pm is None:
+                    pm = PartitionedMatrix(
+                        local_store[name], blocking[0], blocking[1], name=name
+                    )
+                    local_views[key] = pm
+                return pm
+            return program.view(name, *blocking)
+
+        for kernel in program.graph.topo_order():
+            scheme = kernel.exec_scheme
+            if scheme is None:
+                raise RuntimeError(
+                    f"kernel {kernel.kernel_id} has no execution scheme"
+                )
+            xv = view(kernel.x_name, scheme.x_blocking)
+            yv = view(kernel.y_name, scheme.y_blocking)
+            if xv.num_col_blocks != yv.num_row_blocks:
+                raise RuntimeError(
+                    f"inner blocking mismatch on {kernel.kernel_id}: "
+                    f"{xv.num_col_blocks} vs {yv.num_row_blocks}"
+                )
+            x_stored_sparse = stored_sparse[kernel.x_name]
+            y_stored_sparse = stored_sparse[kernel.y_name]
+            act = (
+                activation_fn(kernel.activation)
+                if kernel.activation_enabled
+                else None
+            )
+            acc_view = (
+                view(kernel.accumulate_into, scheme.out_blocking)
+                if kernel.accumulate_into
+                else None
+            )
+            assembly = KernelAssembly.for_kernel(xv, yv, scheme)
+            all_tasks = scheme.tasks()
+            out_br = scheme.out_blocking[0]
+
+            if kernel.ktype is KernelType.AGGREGATE:
+                halo_rows = self._halo_counts(program, kernel.x_name)
+                # each halo vertex contributes one feature row of Y
+                halo_bytes = halo_rows * int(yv.shape[1]) * 4
+            else:
+                halo_bytes = np.zeros(plan.num_shards, dtype=np.int64)
+            halo_s = np.array(
+                [pcie_transfer_seconds(int(b), config) for b in halo_bytes]
+            )
+
+            n = plan.num_shards
+            cycles = np.zeros(n)
+            exposed = np.zeros(n)
+            tasks_n = np.zeros(n, dtype=np.int64)
+            pairs_n = np.zeros(n, dtype=np.int64)
+            seconds = np.zeros(n)
+            for s, shard in enumerate(plan.shards):
+                lo, hi = plan.block_range(shard, out_br)
+                tasks = [t for t in all_tasks if lo <= t.out_row < hi]
+                acc = devices[s]
+                stats = execute_kernel_tasks(
+                    kernel, xv, yv, x_stored_sparse, y_stored_sparse,
+                    acc, self.strategy, timelines[s], tasks, assembly,
+                    acc_view, act,
+                )
+                cycles[s] = timelines[s].barrier()
+                analysis_s = (
+                    acc.soft_processor.k2p_decision_seconds(stats.num_pairs)
+                    if self.strategy.charges_analysis
+                    else 0.0
+                )
+                analysis_total += analysis_s
+                exposed[s] = exposed_analysis_cycles(
+                    acc.soft_processor, analysis_s, len(tasks), cycles[s]
+                )
+                tasks_n[s] = len(tasks)
+                pairs_n[s] = stats.num_pairs
+                seconds[s] = halo_s[s] + config.cycles_to_seconds(
+                    cycles[s] + exposed[s]
+                )
+
+            barrier_s = float(seconds.max()) if n else 0.0
+            if self.book_on_pool:
+                # one barrier-synchronised group per layer: every member
+                # is held to the barrier, busy reflects its shard's work
+                _, _, layer_ready = self.pool.submit_group(
+                    barrier_s, n, layer_ready,
+                    busy_s=[float(s) for s in seconds],
+                )
+            kernel_stats.append(
+                ShardKernelStats(
+                    kernel_id=kernel.kernel_id,
+                    ktype=kernel.ktype,
+                    shard_cycles=cycles,
+                    shard_exposed_cycles=exposed,
+                    shard_halo_s=halo_s,
+                    shard_halo_bytes=halo_bytes,
+                    shard_tasks=tasks_n,
+                    shard_pairs=pairs_n,
+                    shard_seconds=seconds,
+                    barrier_s=barrier_s,
+                )
+            )
+
+            out_mat, out_density = assembly.finalize()
+            local_store[kernel.out_name] = out_mat
+            stored_sparse[kernel.out_name] = (
+                choose_storage_format(out_density)
+                if assembly.dense_assembly
+                else True
+            )
+            for key in [
+                kk for kk in local_views if kk[0] == kernel.out_name
+            ]:
+                del local_views[key]
+
+        return ShardedResult(
+            output=local_store[program.output_name],
+            plan=plan,
+            strategy_name=self.strategy.name,
+            model_name=program.model.name,
+            data_name=program.data_name,
+            config=config,
+            kernel_stats=kernel_stats,
+            runtime_overhead_seconds=analysis_total,
+        )
+
+
+def run_sharded(
+    program: CompiledProgram,
+    num_shards: int,
+    *,
+    strategy_name: str = "Dynamic",
+    pool: AcceleratorPool | None = None,
+    plan: ShardPlan | None = None,
+    book_on_pool: bool = True,
+) -> ShardedResult:
+    """Convenience: plan + execute one program across ``num_shards``
+    devices (a dedicated pool is created unless one is passed)."""
+    if plan is None:
+        plan = plan_shards(program, num_shards)
+    if pool is None:
+        pool = AcceleratorPool(program.config, plan.num_shards)
+    strategy = make_strategy(strategy_name, pool.config)
+    return ShardedRuntime(
+        pool, strategy, plan, book_on_pool=book_on_pool
+    ).run(program)

@@ -561,3 +561,51 @@ class TestVectorizedHotPaths:
     def test_batch_density_validation(self):
         with pytest.raises(ValueError, match="densities"):
             model_cycles_batch(8, 8, 8, np.array([1.5]), np.array([0.5]), CFG)
+
+
+class TestUnitMismatchGate:
+    """compare() pairs metrics by name; a unit or direction change means
+    the values are not comparable and must hard-fail the gate."""
+
+    def test_unit_change_is_a_hard_gate_failure(self):
+        new = result(metrics=[Metric("lat", 0.5, "x", "lower")])
+        base = result(metrics=[Metric("lat", 2.0, "s", "lower")])
+        (c,) = compare(new, base)
+        assert c.classification == "mismatch"
+        assert c.is_regression
+        assert "not comparable" in c.describe()
+        assert "MISMATCH" in c.describe()
+
+    def test_direction_flip_is_a_hard_gate_failure(self):
+        new = result(metrics=[Metric("lat", 2.0, "s", "higher")])
+        base = result(metrics=[Metric("lat", 2.0, "s", "lower")])
+        (c,) = compare(new, base)
+        assert c.classification == "mismatch" and c.is_regression
+
+    def test_mismatch_sorts_with_regressions(self):
+        new = result(metrics=[
+            Metric("ok", 100.0, "count", "lower"),
+            Metric("changed", 100.0, "ratio", "lower"),
+        ])
+        base = result(metrics=[
+            Metric("ok", 100.0, "count", "lower"),
+            Metric("changed", 100.0, "count", "lower"),
+        ])
+        out = compare(new, base)
+        assert out[0].classification == "mismatch"
+
+    def test_equal_values_do_not_mask_a_mismatch(self):
+        # same number, different meaning: still a gate failure
+        new = result(metrics=[Metric("m", 1.0, "ratio", "higher")])
+        base = result(metrics=[Metric("m", 1.0, "s", "lower")])
+        (c,) = compare(new, base)
+        assert c.is_regression
+
+    def test_mismatch_fails_the_perf_diff_cli(self, tmp_path, capsys):
+        new, base = tmp_path / "new", tmp_path / "base"
+        result(name="a",
+               metrics=[Metric("v", 1.0, "x", "higher")]).write(new)
+        result(name="a",
+               metrics=[Metric("v", 1.0, "s", "lower")]).write(base)
+        assert main(["perf-diff", str(new), str(base)]) == 1
+        assert "MISMATCH" in capsys.readouterr().out

@@ -354,3 +354,96 @@ class TestInferenceServer:
         for needle in ("throughput", "p50/p95/p99", "hit rate",
                        "device utilization", "queueing delay"):
             assert needle in text
+
+
+class TestArrivalRateContract:
+    """Every arrival kind advertises a mean rate; the achieved rate
+    (num_requests / last arrival) must match it."""
+
+    RATE = 1000.0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("kind", ["poisson", "bursty", "steady"])
+    def test_achieved_mean_rate_matches_advertised(self, kind, seed):
+        n = 400
+        if kind == "poisson":
+            times = poisson_arrivals(n, self.RATE, seed)
+            tol = 0.15  # CLT jitter of the gap sum at n=400
+        elif kind == "bursty":
+            times = bursty_arrivals(n, self.RATE, seed, burst_size=16)
+            tol = 16 / n + 0.01  # within-burst spread of the last burst
+        else:
+            times = steady_arrivals(n, self.RATE)
+            tol = 1e-9
+        achieved = n / float(times.max())
+        assert abs(achieved / self.RATE - 1.0) < tol
+
+    @pytest.mark.parametrize("n", [100, 104, 113])
+    def test_partial_final_burst_does_not_distort_the_rate(self, n):
+        # n not a multiple of burst_size: the final burst is partial, and
+        # used to stretch the stream a full period beyond its share
+        times = bursty_arrivals(n, self.RATE, seed=5, burst_size=16)
+        achieved = n / float(times.max())
+        assert abs(achieved / self.RATE - 1.0) < 16 / n + 0.01
+
+    def test_oversized_spread_is_clamped(self):
+        n, b = 64, 8
+        period = b / self.RATE
+        huge = bursty_arrivals(n, self.RATE, seed=3, burst_size=b,
+                               burst_spread_s=10.0)
+        clamped = bursty_arrivals(n, self.RATE, seed=3, burst_size=b,
+                                  burst_spread_s=0.5 * period)
+        # a spread >= the burst period is clamped to half the smallest
+        # inter-burst gap...
+        assert np.array_equal(huge, clamped)
+        # ...so the burst structure survives the sort: exactly one large
+        # inter-arrival gap per burst boundary
+        gaps = np.diff(huge)
+        assert int((gaps > 0.25 * period).sum()) == n // b - 1
+        assert abs(n / float(huge.max()) / self.RATE - 1.0) < b / n + 0.01
+
+    def test_negative_spread_rejected(self):
+        with pytest.raises(ValueError, match="burst_spread_s"):
+            bursty_arrivals(8, 100.0, burst_spread_s=-0.1)
+
+    def test_arrivals_are_sorted_and_positive(self):
+        times = bursty_arrivals(40, 500.0, seed=9, burst_size=16,
+                                burst_spread_s=1.0)
+        assert np.all(np.diff(times) >= 0)
+        assert times[0] > 0
+
+
+class TestServingAccountingFixes:
+    def test_missing_hit_flag_raises_instead_of_reporting_a_hit(self):
+        # a request absent from the accounting maps used to be reported
+        # as cache_hit=True, silently inflating the hit rate
+        from repro.serve.batcher import MicroBatch
+
+        server = tiny_server()
+        req = tiny_request(arrival_s=0.0)
+        server.serve([req])  # warm the program cache
+        stray = tiny_request(arrival_s=0.0)
+        key = stray.batch_key(server.config)
+        program = server.cache.peek(stray.program_key(server.config))
+        assert program is not None
+        batch = MicroBatch(key=key, requests=[stray], opened_s=0.0,
+                           ready_s=0.0)
+        with pytest.raises(KeyError):
+            server._dispatch(batch, 0.0, {key: program}, [], {}, {})
+
+    def test_run_memo_tracks_live_cache_capacity(self):
+        from repro.engine import Engine
+
+        engine = Engine(make_tiny_config(), cache_capacity=8)
+        server = InferenceServer(engine=engine, max_batch_size=4,
+                                 max_wait_s=1e-3)
+        for seed in (1, 2, 3):
+            server.serve([tiny_request(arrival_s=0.0, seed=seed)])
+        assert len(server._run_memo) == 3
+        # re-bound the engine's cache after construction: the memo LRU
+        # must follow (it used to stay frozen at the construction-time
+        # capacity)
+        engine.cache.capacity = 1
+        assert server._lru_capacity == 1
+        server.serve([tiny_request(arrival_s=0.0, seed=4)])
+        assert len(server._run_memo) == 1
