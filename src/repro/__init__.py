@@ -54,6 +54,13 @@ from repro.runtime import (
     make_strategy,
 )
 from repro.dyngraph import GraphDelta, MutableGraph, ProgramPatcher
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    flame_summary,
+    validate_trace,
+    write_trace,
+)
 from repro.shard import ShardedResult, ShardPlan, plan_shards, run_sharded
 from repro.serve import (
     InferenceRequest,
@@ -63,7 +70,7 @@ from repro.serve import (
     ServingReport,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: legacy top-level entry points -> (module, attribute, replacement hint).
 #: Accessing them still works but warns once per process: the Engine
@@ -129,6 +136,11 @@ __all__ = [
     "backend_names",
     "register_backend",
     "GraphDelta",
+    "MetricsRegistry",
+    "Tracer",
+    "flame_summary",
+    "validate_trace",
+    "write_trace",
     "InferenceResult",
     "InferenceRequest",
     "InferenceResponse",

@@ -9,6 +9,7 @@ Gives downstream users the paper's core experiment without writing code:
     python -m repro datasets
     python -m repro serve-bench --pool 4 --requests 200 --arrival poisson
     python -m repro shard-bench --dataset PU --shards 2,4
+    python -m repro trace GCN PU --shards 4 --out trace.json
     python -m repro dyngraph-bench --dataset PU --edge-fraction 0.01
     python -m repro engine-bench --repeats 9
 
@@ -30,6 +31,7 @@ measures the facade's own overhead against bare ``run_strategy``.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
@@ -66,6 +68,20 @@ def cmd_run(args) -> int:
         # the paper's N/A cells (e.g. NELL on PyG-GPU): a clean CLI
         # error, not a traceback
         raise SystemExit(f"run: {exc}")
+    if args.json:
+        if hasattr(result, "to_dict"):
+            payload = result.to_dict()
+        else:
+            payload = {
+                "model": handle.model_name,
+                "dataset": handle.data_name,
+                "latency_ms": result.latency_ms,
+            }
+            if hasattr(result, "framework"):
+                payload["framework"] = result.framework
+        payload["backend"] = args.backend
+        print(json.dumps(payload, indent=2))
+        return 0
     print(f"{handle.model_name} on {handle.data_name} "
           f"(scale {handle.data.scale}), strategy {args.strategy}, "
           f"backend {args.backend}:")
@@ -147,11 +163,12 @@ def cmd_shard_bench(args) -> int:
     engine = Engine(u250_default(), pool_size=max(counts))
     handle = _compile(args, engine)
     single = engine.infer(handle, strategy=args.strategy)
-    print(f"{handle.model_name} on {handle.data_name} "
-          f"(scale {handle.data.scale}), strategy {args.strategy}: "
-          f"single-device latency {sci(single.latency_ms)} ms")
+    if not args.json:
+        print(f"{handle.model_name} on {handle.data_name} "
+              f"(scale {handle.data.scale}), strategy {args.strategy}: "
+              f"single-device latency {sci(single.latency_ms)} ms")
 
-    rows, mismatches = [], []
+    rows, mismatches, sweeps = [], [], []
     last = None
     for n in counts:
         h = engine.compile(args.model, args.dataset, scale=args.scale,
@@ -167,6 +184,11 @@ def cmd_shard_bench(args) -> int:
         ))
         if not exact:
             mismatches.append(n)
+        if args.json:
+            sweep = result.to_dict()
+            sweep["speedup"] = result.speedup_vs(single)
+            sweep["bit_exact"] = exact
+            sweeps.append(sweep)
         rows.append([
             result.num_shards, sci(result.latency_ms),
             speedup_fmt(result.speedup_vs(single)),
@@ -175,6 +197,13 @@ def cmd_shard_bench(args) -> int:
             f"{result.load_balance():.3f}",
             "yes" if exact else "NO",
         ])
+    if args.json:
+        print(json.dumps({
+            "single_device": single.to_dict(),
+            "sweeps": sweeps,
+            "mismatched_shard_counts": mismatches,
+        }, indent=2))
+        return 1 if mismatches else 0
     print(format_table(
         ["shards", "latency (ms)", "speedup", "halo bytes", "halo %",
          "balance", "bit-exact"],
@@ -227,11 +256,18 @@ def cmd_serve_bench(args) -> int:
         raise SystemExit(f"serve-bench: invalid --strategy: {exc}")
     max_wait_s = args.max_wait_ms * 1e-3
 
-    def new_server(pool_size: int) -> InferenceServer:
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+
+    def new_server(pool_size: int, traced: bool = False) -> InferenceServer:
         # each sweep family gets its own engine (cache + device pool);
         # the server is a serving front-end over it
         engine = Engine(config, pool_size=pool_size,
-                        cache_capacity=args.cache)
+                        cache_capacity=args.cache,
+                        tracer=tracer if traced else None)
         return InferenceServer(
             engine=engine,
             max_batch_size=args.max_batch,
@@ -255,9 +291,10 @@ def cmd_serve_bench(args) -> int:
         ]
         rate = probe.saturating_rate(probes, pool_size=args.pool,
                                      factor=factor)
-        print(f"calibrated arrival rate: {rate:,.0f} req/s "
-              f"(~{factor:.0f}x the {args.pool}-device pool's service "
-              f"capacity)")
+        if not args.json:
+            print(f"calibrated arrival rate: {rate:,.0f} req/s "
+                  f"(~{factor:.0f}x the {args.pool}-device pool's service "
+                  f"capacity)")
 
     workload = synthesize(
         args.requests,
@@ -272,22 +309,57 @@ def cmd_serve_bench(args) -> int:
         seed=args.seed,
     )
 
+    quiet = args.json
     baseline_server = new_server(1)
     baseline = baseline_server.serve(workload)
-    print(f"\n== cold sweep, pool size 1 ==\n{baseline.format_report()}")
+    if not quiet:
+        print(f"\n== cold sweep, pool size 1 ==\n{baseline.format_report()}")
     baseline_warm = baseline_server.serve(workload)
-    print(f"\n== warm sweep, pool size 1 ==\n{baseline_warm.format_report()}")
-    server = new_server(args.pool)
+    if not quiet:
+        print(f"\n== warm sweep, pool size 1 ==\n"
+              f"{baseline_warm.format_report()}")
+    server = new_server(args.pool, traced=tracer is not None)
     cold = server.serve(workload)
-    print(f"\n== cold sweep, pool size {args.pool} ==\n{cold.format_report()}")
+    if tracer is not None:
+        # the cold pool sweep is the interesting trace: compiles, batch
+        # formation, queueing and per-device dispatch all happen there
+        from repro.obs import write_trace
+
+        path = write_trace(tracer, args.trace, meta={
+            "source": "serve-bench",
+            "pool_size": args.pool,
+            "requests": args.requests,
+            "sweep": "cold",
+        })
+        tracer.clear()  # keep the warm sweep's records separate
+        if not quiet:
+            print(f"\ntrace of the cold pool sweep written to {path}")
+    if not quiet:
+        print(f"\n== cold sweep, pool size {args.pool} ==\n"
+              f"{cold.format_report()}")
     warm = server.serve(workload)
-    print(f"\n== warm sweep, pool size {args.pool} ==\n{warm.format_report()}")
+    if not quiet:
+        print(f"\n== warm sweep, pool size {args.pool} ==\n"
+              f"{warm.format_report()}")
 
     # warm-vs-warm isolates pool scaling from one-time compile charges
     scaling = (
         warm.throughput_rps / baseline_warm.throughput_rps
         if baseline_warm.throughput_rps else 0.0
     )
+    if args.json:
+        print(json.dumps({
+            "arrival_rate_rps": rate,
+            "pool_size": args.pool,
+            "sweeps": {
+                "cold_pool1": baseline.to_dict(),
+                "warm_pool1": baseline_warm.to_dict(),
+                f"cold_pool{args.pool}": cold.to_dict(),
+                f"warm_pool{args.pool}": warm.to_dict(),
+            },
+            "throughput_scaling": scaling,
+        }, indent=2))
+        return 0
     print("\nsummary:")
     print(f"  throughput scaling : {scaling:.2f}x with {args.pool} devices "
           f"(ideal {args.pool:.2f}x, warm cache)")
@@ -296,6 +368,64 @@ def cmd_serve_bench(args) -> int:
           f"compile time saved {warm.compile_saved_s * 1e3:.1f} ms")
     print(f"  warm vs cold p50   : {cold.latency_p50_s * 1e3:.3f} ms -> "
           f"{warm.latency_p50_s * 1e3:.3f} ms")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import (
+        Tracer,
+        flame_summary,
+        to_perfetto,
+        validate_trace,
+        write_jsonl,
+        write_trace,
+    )
+
+    if args.validate is not None:
+        errors = validate_trace(args.validate)
+        if errors:
+            for err in errors:
+                print(f"invalid: {err}")
+            return 1
+        print(f"{args.validate}: trace is valid")
+        return 0
+
+    if args.shards < 1:
+        raise SystemExit("trace: --shards must be >= 1")
+    tracer = Tracer(task_spans=not args.no_task_spans)
+    engine = Engine(u250_default(), pool_size=args.shards, tracer=tracer)
+    handle = engine.compile(
+        args.model, args.dataset, scale=args.scale, seed=args.seed,
+        prune=args.prune, shards=args.shards,
+    )
+    if args.shards > 1:
+        result = engine.infer(handle, strategy=args.strategy,
+                              backend="sharded")
+        reconcile_cats = ["layer"]
+    else:
+        result = engine.infer(handle, strategy=args.strategy)
+        reconcile_cats = ["kernel", "exposed"]
+    meta = {
+        "model": handle.model_name,
+        "dataset": handle.data_name,
+        "strategy": args.strategy,
+        "shards": args.shards,
+        "expected_total_s": result.latency_s,
+        "reconcile_cats": reconcile_cats,
+    }
+    path = write_trace(tracer, args.out, meta=meta)
+    errors = validate_trace(to_perfetto(tracer, meta=meta))
+    print(f"{handle.model_name} on {handle.data_name}, "
+          f"{args.shards} shard(s): latency {sci(result.latency_ms)} ms")
+    print(f"trace written to {path} — load it at https://ui.perfetto.dev")
+    if args.jsonl:
+        print(f"event log written to {write_jsonl(tracer, args.jsonl)}")
+    print(flame_summary(tracer))
+    if errors:
+        for err in errors:
+            print(f"invalid: {err}")
+        return 1
+    print("trace validated: span sums reconcile with the reported latency")
     return 0
 
 
@@ -540,6 +670,8 @@ def main(argv=None) -> int:
     p_run.add_argument("--backend", choices=backend_names(),
                        default="simulated",
                        help="execution backend from the engine registry")
+    p_run.add_argument("--json", action="store_true",
+                       help="emit the result as JSON instead of text")
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="S1 vs S2 vs Dynamic")
@@ -558,7 +690,36 @@ def main(argv=None) -> int:
                         help="comma-separated shard counts to sweep")
     p_shard.add_argument("--plan", action="store_true",
                         help="print the largest sweep's shard plan")
+    p_shard.add_argument("--json", action="store_true",
+                        help="emit the sweep results as JSON instead of text")
     p_shard.set_defaults(func=cmd_shard_bench)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one traced inference and export a Perfetto trace.json "
+             "(repro.obs); or validate an existing trace with --validate",
+    )
+    p_trace.add_argument("model", nargs="?", choices=MODEL_NAMES,
+                         default="GCN")
+    p_trace.add_argument("dataset", nargs="?", choices=DATASET_NAMES,
+                         default="CO")
+    p_trace.add_argument("--scale", type=float, default=None,
+                         help="dataset scale in (0, 1]")
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--prune", type=float, default=0.0)
+    p_trace.add_argument("--strategy", default="Dynamic")
+    p_trace.add_argument("--shards", type=int, default=1,
+                         help="trace a sharded run across N devices")
+    p_trace.add_argument("--out", default="trace.json",
+                         help="Perfetto trace output path")
+    p_trace.add_argument("--jsonl", default=None,
+                         help="also write a flat JSONL event log here")
+    p_trace.add_argument("--no-task-spans", action="store_true",
+                         help="omit per-task spans (smaller trace files)")
+    p_trace.add_argument("--validate", default=None, metavar="PATH",
+                         help="validate an existing trace.json and exit "
+                              "(no run)")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_srv = sub.add_parser(
         "serve-bench",
@@ -586,6 +747,11 @@ def main(argv=None) -> int:
     p_srv.add_argument("--cache", type=int, default=64,
                        help="program-cache capacity")
     p_srv.add_argument("--seed", type=int, default=0)
+    p_srv.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a Perfetto trace of the cold pool "
+                            "sweep to PATH")
+    p_srv.add_argument("--json", action="store_true",
+                       help="emit all sweep reports as JSON instead of text")
     p_srv.set_defaults(func=cmd_serve_bench)
 
     p_dyn = sub.add_parser(

@@ -140,7 +140,8 @@ class SimulatedBackend(ExecutionBackend):
 
     def run(self, handle: "ProgramHandle", *, strategy: str = "Dynamic") -> InferenceResult:
         return run_strategy(
-            handle.program, strategy, accelerator=self.engine.device(0)
+            handle.program, strategy, accelerator=self.engine.device(0),
+            tracer=self.engine.tracer,
         )
 
 
@@ -205,7 +206,8 @@ class ShardedBackend(ExecutionBackend):
         if plan is None:
             plan = plan_shards(handle.program, self.engine.pool.num_devices)
         runtime = ShardedRuntime(
-            self.engine.pool, make_strategy(strategy, self.engine.config), plan
+            self.engine.pool, make_strategy(strategy, self.engine.config), plan,
+            tracer=self.engine.tracer,
         )
         return runtime.run(handle.program)
 

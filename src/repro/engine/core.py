@@ -53,6 +53,7 @@ from repro.engine.pool import AcceleratorPool
 from repro.gnn.models import ModelSpec, build_model, init_weights
 from repro.gnn.pruning import prune_weights
 from repro.hw.accelerator import Accelerator
+from repro.obs.tracer import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serve.request import InferenceRequest
@@ -142,6 +143,7 @@ class Engine:
         pool_size: int = 1,
         cache_capacity: int = 64,
         patch_policy: PatchPolicy | None = None,
+        tracer=None,
     ) -> None:
         get_backend(backend)  # fail fast, listing the valid names
         self.config = config or u250_default()
@@ -149,6 +151,12 @@ class Engine:
         self.cache = ProgramCache(cache_capacity)
         self.pool = AcceleratorPool(self.config, pool_size)
         self.patcher = ProgramPatcher(patch_policy)
+        #: the session tracer (:mod:`repro.obs`); NULL_TRACER = disabled
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.pool.tracer = self.tracer
+        #: host-wall-clock cursor for compile spans (sequential compiles
+        #: are laid end to end on the ``host/compile`` track)
+        self._trace_cursor = 0.0
         #: registered dynamic graphs: graph_id -> MutableGraph
         self._graphs: dict[str, MutableGraph] = {}
         #: program-cache keys backed by each dynamic graph, mapped to the
@@ -290,6 +298,32 @@ class Engine:
             program, compile_s, hit = self.cache.get_or_compile(key, compile_fn)
         if graph_id is not None and key is not None:
             self._graph_keys[graph_id][key] = graph_version
+        if self.tracer.enabled:
+            label = f"{model_spec.name}/{data.name}"
+            if hit:
+                self.tracer.instant(
+                    "host/compile", f"{label}/cache-hit", self._trace_cursor,
+                    cat="compile",
+                )
+            else:
+                t = program.timings
+                t0 = self._trace_cursor
+                self.tracer.span(
+                    "host/compile", f"compile {label}", t0, t0 + compile_s,
+                    cat="compile",
+                )
+                cursor = t0
+                for phase_name, dur in (
+                    ("parse", t.parse_s),
+                    ("partition", t.partition_s),
+                    ("profile", t.profile_s),
+                ):
+                    self.tracer.span(
+                        "host/compile", f"{label}/{phase_name}",
+                        cursor, cursor + dur, cat="compile-phase",
+                    )
+                    cursor += dur
+                self._trace_cursor = t0 + compile_s
         shard_plan = None
         if shards != 1:
             from repro.shard.planner import plan_shards

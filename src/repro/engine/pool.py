@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.config import AcceleratorConfig, u250_default
 from repro.hw.accelerator import Accelerator
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass
@@ -38,7 +39,13 @@ class DispatchEvent:
 
 
 class AcceleratorPool:
-    """N identical simulated devices sharing one virtual clock."""
+    """N identical simulated devices sharing one virtual clock.
+
+    When a :class:`~repro.obs.tracer.Tracer` is attached (``pool.tracer``)
+    every booking also lands as a span on a ``pool/dev{d}`` track — the
+    pool clock is the serving clock, so these are the per-device execute
+    spans of a ``serve()`` sweep.
+    """
 
     def __init__(
         self, config: AcceleratorConfig | None = None, num_devices: int = 1
@@ -50,6 +57,7 @@ class AcceleratorPool:
         self.available = np.zeros(num_devices, dtype=np.float64)
         self.busy = np.zeros(num_devices, dtype=np.float64)
         self.events: list[DispatchEvent] = []
+        self.tracer = NULL_TRACER
 
     @property
     def num_devices(self) -> int:
@@ -89,6 +97,16 @@ class AcceleratorPool:
         self.events.append(
             DispatchEvent(device, start, end, batch_id, batch_size)
         )
+        if self.tracer.enabled:
+            self.tracer.span(
+                f"pool/dev{device}",
+                f"batch{batch_id}",
+                start,
+                end,
+                cat="dispatch",
+                batch_size=batch_size,
+                queued_s=start - ready_s,
+            )
         return device, start, end
 
     def submit_group(
@@ -134,6 +152,17 @@ class AcceleratorPool:
             self.events.append(
                 DispatchEvent(device, start, end, batch_id, batch_size)
             )
+            if self.tracer.enabled:
+                self.tracer.span(
+                    f"pool/dev{device}",
+                    f"batch{batch_id}/shard{idx}",
+                    start,
+                    end,
+                    cat="dispatch",
+                    batch_size=batch_size,
+                    group=len(chosen),
+                    busy_s=service_s if busy_s is None else float(busy_s[idx]),
+                )
         return chosen, start, end
 
     @property

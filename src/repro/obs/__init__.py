@@ -1,0 +1,61 @@
+"""``repro.obs`` — zero-dependency observability for the whole stack.
+
+Three planes, all default-off and free when disabled:
+
+- **spans** (:mod:`repro.obs.tracer`): nested intervals on the virtual
+  clock — compiler phases, per-kernel/per-wave/per-task execution,
+  serve-side enqueue/batch-form/dispatch, shard halo/barrier — threaded
+  through ``Engine``, ``RuntimeSystem``, ``InferenceServer``,
+  ``AcceleratorPool`` and ``ShardedRuntime`` via ``tracer=`` parameters;
+- **metrics** (:mod:`repro.obs.metrics`): named counters / gauges /
+  histograms, snapshotable into ``ServingReport.metrics`` and
+  ``BENCH_*.json``;
+- **exporters** (:mod:`repro.obs.export`): Perfetto/Chrome
+  ``trace.json``, flat JSONL, flamegraph-style text summary, plus the
+  ``repro trace --validate`` schema gate.
+
+Quickstart::
+
+    from repro import Engine
+    from repro.obs import Tracer, write_trace
+
+    tracer = Tracer()
+    engine = Engine(tracer=tracer)
+    handle = engine.compile("GCN", "PU", shards=4)
+    result = engine.infer(handle, backend="sharded")
+    write_trace(tracer, "trace.json")   # load in https://ui.perfetto.dev
+"""
+
+from repro.obs.export import (
+    flame_summary,
+    to_jsonl,
+    to_perfetto,
+    validate_trace,
+    write_jsonl,
+    write_trace,
+)
+from repro.obs.metrics import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+)
+from repro.obs.tracer import NULL_TRACER, CounterSample, NullTracer, Span, Tracer
+
+__all__ = [
+    "NULL_TRACER",
+    "CounterMetric",
+    "CounterSample",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "flame_summary",
+    "to_jsonl",
+    "to_perfetto",
+    "validate_trace",
+    "write_jsonl",
+    "write_trace",
+]

@@ -1,0 +1,291 @@
+"""Trace exporters: Perfetto/Chrome ``trace.json``, JSONL, text summary.
+
+Three consumers, three formats, one :class:`~repro.obs.tracer.Tracer`:
+
+- :func:`to_perfetto` / :func:`write_trace` — the Chrome trace-event
+  JSON the Perfetto UI (https://ui.perfetto.dev) loads directly: one
+  *thread* per track (devices, shards, cores, host phases), complete
+  ("X") events in microseconds, instant ("i") markers, and counter
+  ("C") series for queue depth and halo bytes;
+- :func:`to_jsonl` / :func:`write_jsonl` — a flat, one-JSON-object-per-
+  line event log for ad-hoc ``jq``/pandas analysis;
+- :func:`flame_summary` — a flamegraph-style text rollup (time by
+  category, hottest span names, per-track totals) for terminals.
+
+:func:`validate_trace` is the schema gate CI runs (``repro trace
+--validate``): it checks the trace-event invariants Perfetto relies on
+and, when the trace carries reconciliation metadata (``otherData``),
+that span duration sums still add up to the run's reported latency —
+so exporter drift cannot ship silently.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "flame_summary",
+    "to_jsonl",
+    "to_perfetto",
+    "validate_trace",
+    "write_jsonl",
+    "write_trace",
+]
+
+#: trace-event process id every track lives under
+_PID = 1
+#: relative tolerance of the span-sum reconciliation check
+RECONCILE_RTOL = 0.01
+
+
+def _tid_map(tracer: Tracer) -> dict[str, int]:
+    """Stable track -> tid assignment (sorted, so diffs are readable)."""
+    return {track: tid for tid, track in enumerate(tracer.tracks(), start=1)}
+
+
+def to_perfetto(tracer: Tracer, *, meta: dict | None = None) -> dict:
+    """Render the tracer's records as a Chrome/Perfetto trace dict.
+
+    ``meta`` lands in ``otherData``; pass ``expected_total_s`` and
+    ``reconcile_cats`` there to arm :func:`validate_trace`'s span-sum
+    reconciliation.
+    """
+    tids = _tid_map(tracer)
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": "repro"},
+        }
+    ]
+    for track, tid in tids.items():
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": tid,
+            "args": {"name": track},
+        })
+        events.append({
+            "name": "thread_sort_index",
+            "ph": "M",
+            "pid": _PID,
+            "tid": tid,
+            "args": {"sort_index": tid},
+        })
+    for sp in tracer.spans:
+        event = {
+            "name": sp.name,
+            "cat": sp.cat or "span",
+            "ph": "X" if sp.kind == "span" else "i",
+            "ts": sp.start_s * 1e6,
+            "pid": _PID,
+            "tid": tids[sp.track],
+        }
+        if sp.kind == "span":
+            event["dur"] = sp.dur_s * 1e6
+        else:
+            event["s"] = "t"  # thread-scoped instant
+        if sp.args:
+            event["args"] = dict(sp.args)
+        events.append(event)
+    for sample in tracer.counters:
+        events.append({
+            "name": f"{sample.track}:{sample.name}",
+            "ph": "C",
+            "ts": sample.t_s * 1e6,
+            "pid": _PID,
+            "tid": tids[sample.track],
+            "args": {sample.name: sample.value},
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(meta or {}),
+    }
+
+
+def write_trace(
+    tracer: Tracer, path: str | Path, *, meta: dict | None = None
+) -> Path:
+    """Write :func:`to_perfetto` output to ``path`` and return it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_perfetto(tracer, meta=meta)))
+    return path
+
+
+def to_jsonl(tracer: Tracer) -> str:
+    """Flat JSONL event log: one span/counter object per line."""
+    lines = []
+    for sp in tracer.spans:
+        lines.append(json.dumps({
+            "kind": sp.kind,
+            "track": sp.track,
+            "name": sp.name,
+            "cat": sp.cat,
+            "start_s": sp.start_s,
+            "dur_s": sp.dur_s,
+            "args": sp.args,
+        }))
+    for sample in tracer.counters:
+        lines.append(json.dumps({
+            "kind": "counter",
+            "track": sample.track,
+            "name": sample.name,
+            "t_s": sample.t_s,
+            "value": sample.value,
+        }))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(tracer: Tracer, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_jsonl(tracer))
+    return path
+
+
+def _bar(fraction: float, width: int = 24) -> str:
+    return "#" * max(int(round(fraction * width)), 0)
+
+
+def flame_summary(tracer: Tracer, *, top: int = 12) -> str:
+    """Flamegraph-style text rollup of where the traced time went."""
+    spans = [sp for sp in tracer.spans if sp.kind == "span"]
+    total = sum(sp.dur_s for sp in spans)
+    lines = [
+        f"trace summary — {len(spans)} spans / "
+        f"{len(tracer.counters)} counter samples on "
+        f"{len(tracer.tracks())} tracks, "
+        f"{total * 1e3:.4f} ms total span time"
+    ]
+    if not spans:
+        return "\n".join(lines)
+
+    def rollup(key_fn) -> list[tuple[str, float, int]]:
+        acc: dict[str, list] = {}
+        for sp in spans:
+            entry = acc.setdefault(key_fn(sp), [0.0, 0])
+            entry[0] += sp.dur_s
+            entry[1] += 1
+        return sorted(
+            ((k, v[0], v[1]) for k, v in acc.items()),
+            key=lambda item: -item[1],
+        )
+
+    lines.append("  by category:")
+    for cat, dur, count in rollup(lambda sp: sp.cat or "(uncategorised)"):
+        frac = dur / total if total else 0.0
+        lines.append(
+            f"    {cat:<14}{count:>6} spans {dur * 1e3:>12.4f} ms "
+            f"{frac * 100:>6.1f}%  {_bar(frac)}"
+        )
+    lines.append(f"  hottest spans (by name, top {top}):")
+    for name, dur, count in rollup(lambda sp: sp.name)[:top]:
+        frac = dur / total if total else 0.0
+        lines.append(
+            f"    {name:<28}{count:>6}x {dur * 1e3:>12.4f} ms "
+            f"{frac * 100:>6.1f}%"
+        )
+    lines.append("  per track:")
+    for track, dur, count in sorted(rollup(lambda sp: sp.track)):
+        lines.append(
+            f"    {track:<18}{count:>6} spans {dur * 1e3:>12.4f} ms"
+        )
+    return "\n".join(lines)
+
+
+# -- validation ---------------------------------------------------------
+_KNOWN_PHASES = {"X", "i", "C", "M"}
+
+
+def validate_trace(trace: dict | str | Path) -> list[str]:
+    """Check a ``trace.json`` against the trace-event invariants.
+
+    Accepts the trace dict or a path to one.  Returns a list of error
+    strings — empty means the trace is structurally sound *and* (when
+    ``otherData`` carries ``expected_total_s`` + ``reconcile_cats``) the
+    span duration sums reconcile with the run's reported latency to
+    within ``RECONCILE_RTOL``.
+    """
+    if not isinstance(trace, dict):
+        path = Path(trace)
+        try:
+            trace = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            return [f"cannot load trace from {path}: {exc}"]
+    errors: list[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["trace has no traceEvents list (or it is empty)"]
+
+    named_tids: set[int] = set()
+    used_tids: set[int] = set()
+    saw_complete = False
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _KNOWN_PHASES:
+            errors.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        if event.get("pid") is None:
+            errors.append(f"event {i} ({ph}): missing pid")
+        if ph == "M":
+            if event.get("name") == "thread_name":
+                named_tids.add(event.get("tid"))
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"event {i} ({ph}): bad ts {ts!r}")
+        if not event.get("name"):
+            errors.append(f"event {i} ({ph}): missing name")
+        if ph in ("X", "i"):
+            used_tids.add(event.get("tid"))
+        if ph == "X":
+            saw_complete = True
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"event {i} (X): bad dur {dur!r}")
+        if ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                errors.append(f"event {i} (C): args must be numeric values")
+    if not saw_complete:
+        errors.append("trace has no complete ('X') span events")
+    unnamed = used_tids - named_tids
+    if unnamed:
+        errors.append(
+            f"tids {sorted(unnamed)} carry events but have no thread_name "
+            f"metadata (Perfetto would show anonymous tracks)"
+        )
+
+    meta = trace.get("otherData") or {}
+    expected = meta.get("expected_total_s")
+    cats = meta.get("reconcile_cats")
+    if expected is not None and cats:
+        span_sum = sum(
+            event.get("dur", 0.0)
+            for event in events
+            if isinstance(event, dict)
+            and event.get("ph") == "X"
+            and event.get("cat") in set(cats)
+        ) * 1e-6
+        expected = float(expected)
+        tol = max(abs(expected) * RECONCILE_RTOL, 1e-12)
+        if abs(span_sum - expected) > tol:
+            errors.append(
+                f"span-sum reconciliation failed: cats {sorted(cats)} sum to "
+                f"{span_sum:.9f} s but the run reported {expected:.9f} s "
+                f"(tolerance {RECONCILE_RTOL:.0%})"
+            )
+    return errors

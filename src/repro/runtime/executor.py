@@ -35,6 +35,7 @@ from repro.hw.core import OperandSpec, PairDecision
 from repro.hw.memory import pcie_transfer_seconds
 from repro.hw.report import CODE_ORDER, SKIP_CODE, CycleReport, Primitive
 from repro.ir.kernel import KernelIR
+from repro.obs.tracer import NULL_TRACER
 from repro.runtime.scheduler import CoreTimeline
 from repro.runtime.stats import KernelStats, total_primitive_counts
 from repro.runtime.strategies import MappingStrategy
@@ -127,6 +128,10 @@ class InferenceResult:
         """How much faster *this* run is than ``other`` (>1 = faster)."""
         return other.total_cycles / self.total_cycles
 
+    def wave_counts(self) -> dict[str, int]:
+        """Per-kernel scheduling-wave counts (core rounds per kernel)."""
+        return {ks.kernel_id: ks.num_waves for ks in self.kernel_stats}
+
     def format_report(self) -> str:
         """Human-readable per-kernel execution report."""
         lines = [
@@ -137,7 +142,7 @@ class InferenceResult:
             f"runtime overhead {self.overhead_fraction * 100:.2f}%, "
             f"load balance {self.load_balance():.3f}",
             f"  {'kernel':<20}{'cycles':>12}{'tasks':>7}{'pairs':>7}"
-            f"{'skip':>6}{'out dens':>10}  primitives",
+            f"{'skip':>6}{'waves':>7}{'out dens':>10}  primitives",
         ]
         for ks in self.kernel_stats:
             prims = ", ".join(
@@ -147,10 +152,58 @@ class InferenceResult:
             )
             lines.append(
                 f"  {ks.kernel_id:<20}{ks.cycles:>12.0f}{ks.num_tasks:>7}"
-                f"{ks.num_pairs:>7}{ks.skipped_pairs:>6}"
+                f"{ks.num_pairs:>7}{ks.skipped_pairs:>6}{ks.num_waves:>7}"
                 f"{ks.out_density:>10.3f}  {prims}"
             )
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (``repro run --json`` payload)."""
+        return {
+            "model": self.model_name,
+            "dataset": self.data_name,
+            "strategy": self.strategy_name,
+            "latency_ms": self.latency_ms,
+            "total_cycles": self.total_cycles,
+            "accel_cycles": self.accel_cycles,
+            "exposed_overhead_cycles": self.exposed_overhead_cycles,
+            "runtime_overhead_seconds": self.runtime_overhead_seconds,
+            "overhead_fraction": self.overhead_fraction,
+            "load_balance": self.load_balance(),
+            "num_tasks": self.num_tasks,
+            "num_pairs": self.num_pairs,
+            "total_macs": int(self.total_macs),
+            "bytes_read": int(self.bytes_read),
+            "bytes_written": int(self.bytes_written),
+            "input_bytes": int(self.input_bytes),
+            "compile": {
+                "parse_s": self.compile_timings.parse_s,
+                "partition_s": self.compile_timings.partition_s,
+                "profile_s": self.compile_timings.profile_s,
+                "total_s": self.compile_timings.total_s,
+            },
+            "kernels": [
+                {
+                    "kernel_id": ks.kernel_id,
+                    "ktype": ks.ktype.name,
+                    "cycles": ks.cycles,
+                    "tasks": ks.num_tasks,
+                    "tasks_executed": ks.tasks_executed,
+                    "pairs": ks.num_pairs,
+                    "skipped_pairs": ks.skipped_pairs,
+                    "waves": ks.num_waves,
+                    "out_density": ks.out_density,
+                    "primitives": {
+                        p.value: int(c)
+                        for p, c in sorted(
+                            ks.primitive_counts.items(),
+                            key=lambda kv: kv[0].value,
+                        )
+                    },
+                }
+                for ks in self.kernel_stats
+            ],
+        }
 
 
 @dataclass
@@ -228,6 +281,11 @@ class TaskLoopStats:
     report: CycleReport = field(default_factory=CycleReport)
     counts: Counter = field(default_factory=Counter)
     num_pairs: int = 0
+    #: tasks actually dispatched to a core (all-zero partitions skip)
+    tasks_executed: int = 0
+    #: scheduling waves the tasks filled: the maximum number of tasks any
+    #: one core ran, i.e. how many core-rounds the kernel needed
+    waves: int = 0
 
 
 def execute_kernel_tasks(
@@ -243,6 +301,9 @@ def execute_kernel_tasks(
     assembly: KernelAssembly,
     acc_view: Optional[PartitionedMatrix],
     act,
+    *,
+    tracer=NULL_TRACER,
+    track: str = "dev0",
 ) -> TaskLoopStats:
     """Execute a subset of one kernel's tasks on one accelerator.
 
@@ -253,10 +314,16 @@ def execute_kernel_tasks(
     which is what makes sharded outputs bit-exact against single-device
     runs.  ``tasks`` may be any subset of the kernel's task grid; writes
     land in the shared ``assembly``.
+
+    ``tracer``/``track`` emit per-wave and per-task spans *after* the
+    loop, from the timeline events it already records — the inner loop
+    itself is untouched, so tracing cannot perturb bit-exactness and the
+    disabled path costs one attribute check per call.
     """
     acc = accelerator
     soft = acc.soft_processor
     stats = TaskLoopStats()
+    events_before = len(timeline.events)
 
     x_dens = xv.density_grid
     y_dens = yv.density_grid
@@ -354,6 +421,38 @@ def execute_kernel_tasks(
         assembly.total_out_nnz += result.output_nnz
         assembly.write(i, k, m, d, result.z)
 
+    executed = timeline.events[events_before:]
+    stats.tasks_executed = len(executed)
+    if executed:
+        per_core: Counter = Counter()
+        wave_of = []
+        for ev in executed:
+            wave_of.append(per_core[ev.core])
+            per_core[ev.core] += 1
+        stats.waves = max(per_core.values())
+        if tracer.enabled:
+            cfg = acc.config
+            for w in range(stats.waves):
+                members = [
+                    ev for ev, wv in zip(executed, wave_of) if wv == w
+                ]
+                tracer.span(
+                    track,
+                    f"{kernel.kernel_id}/wave{w}",
+                    cfg.cycles_to_seconds(min(ev.start for ev in members)),
+                    cfg.cycles_to_seconds(max(ev.end for ev in members)),
+                    cat="wave",
+                    tasks=len(members),
+                )
+            if tracer.task_spans:
+                for ev in executed:
+                    tracer.span(
+                        f"{track}/core{ev.core}",
+                        f"{kernel.kernel_id}[{ev.task_index}]",
+                        cfg.cycles_to_seconds(ev.start),
+                        cfg.cycles_to_seconds(ev.end),
+                        cat="task",
+                    )
     return stats
 
 
@@ -374,13 +473,29 @@ def exposed_analysis_cycles(
 
 
 class RuntimeSystem:
-    """Drives one accelerator through one compiled program."""
+    """Drives one accelerator through one compiled program.
 
-    def __init__(self, accelerator: Accelerator, strategy: MappingStrategy) -> None:
+    ``tracer``/``track`` arm span tracing (:mod:`repro.obs`): per-kernel
+    execution spans on ``track``, per-wave/per-task spans nested under
+    it, K2P analysis spans on ``host/analyzer`` and the non-hidden share
+    on ``host/exposed`` — so ``sum(kernel) + sum(exposed)`` spans equal
+    :attr:`InferenceResult.total_cycles` exactly.
+    """
+
+    def __init__(
+        self,
+        accelerator: Accelerator,
+        strategy: MappingStrategy,
+        *,
+        tracer=NULL_TRACER,
+        track: str = "dev0",
+    ) -> None:
         if accelerator.config.psys != strategy.config.psys:
             raise ValueError("strategy and accelerator configs disagree")
         self.accelerator = accelerator
         self.strategy = strategy
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.track = track
 
     # -- public API ------------------------------------------------------
     def run(self, program: CompiledProgram) -> InferenceResult:
@@ -406,12 +521,29 @@ class RuntimeSystem:
             analysis_seconds.append(analysis_s)
             kernel_cycles.append(ks.cycles)
 
-        exposed = sum(
+        exposed_per_kernel = [
             exposed_analysis_cycles(
                 soft, analysis_seconds[i], ks.num_tasks, kernel_cycles[i]
             )
             for i, ks in enumerate(kernel_stats)
-        )
+        ]
+        exposed = sum(exposed_per_kernel)
+        if self.tracer.enabled:
+            # one exposed-overhead span per kernel, laid end to end after
+            # the device spans so kernel + exposed durations sum exactly
+            # to total_cycles (validate_trace reconciles against this)
+            cfg = acc.config
+            cursor = float(sum(kernel_cycles))
+            for ks, exp_c in zip(kernel_stats, exposed_per_kernel):
+                if exp_c > 0.0:
+                    self.tracer.span(
+                        "host/exposed",
+                        f"{ks.kernel_id}/exposed",
+                        cfg.cycles_to_seconds(cursor),
+                        cfg.cycles_to_seconds(cursor + exp_c),
+                        cat="exposed",
+                    )
+                    cursor += exp_c
 
         output = local_store[program.output_name]
         return InferenceResult(
@@ -486,11 +618,12 @@ class RuntimeSystem:
         )
         assembly = KernelAssembly.for_kernel(xv, yv, scheme)
         busy_before = timeline.busy.copy()
+        start_cycles = timeline.now
 
         stats = execute_kernel_tasks(
             kernel, xv, yv, x_stored_sparse, y_stored_sparse,
             acc, self.strategy, timeline, scheme.tasks(), assembly,
-            acc_view, act,
+            acc_view, act, tracer=self.tracer, track=self.track,
         )
         cycles = timeline.barrier()
 
@@ -512,6 +645,34 @@ class RuntimeSystem:
             else 0.0
         )
 
+        if self.tracer.enabled:
+            cfg = acc.config
+            start_s = cfg.cycles_to_seconds(start_cycles)
+            end_s = cfg.cycles_to_seconds(timeline.now)
+            self.tracer.span(
+                self.track,
+                kernel.kernel_id,
+                start_s,
+                end_s,
+                cat="kernel",
+                ktype=kernel.ktype.name,
+                tasks=scheme.num_tasks,
+                pairs=stats.num_pairs,
+                waves=stats.waves,
+                out_density=round(out_density, 6),
+            )
+            if analysis_s > 0.0:
+                # K2P analysis overlaps execution of this kernel (§VI-B);
+                # draw it alongside on the host track
+                self.tracer.span(
+                    "host/analyzer",
+                    f"{kernel.kernel_id}/k2p",
+                    start_s,
+                    start_s + analysis_s,
+                    cat="analysis",
+                    pairs=stats.num_pairs,
+                )
+
         report = stats.report
         ks = KernelStats(
             kernel_id=kernel.kernel_id,
@@ -530,6 +691,8 @@ class RuntimeSystem:
             out_density=out_density,
             analysis_seconds=analysis_s,
             core_busy=timeline.busy - busy_before,
+            num_waves=stats.waves,
+            tasks_executed=stats.tasks_executed,
         )
         return ks, analysis_s
 
@@ -555,10 +718,13 @@ def run_strategy(
     program: CompiledProgram,
     strategy_name: str,
     accelerator: Optional[Accelerator] = None,
+    *,
+    tracer=NULL_TRACER,
+    track: str = "dev0",
 ) -> InferenceResult:
     """Convenience: run one program under one named strategy."""
     from repro.runtime.strategies import make_strategy
 
     acc = accelerator or Accelerator(program.config)
     strategy = make_strategy(strategy_name, acc.config)
-    return RuntimeSystem(acc, strategy).run(program)
+    return RuntimeSystem(acc, strategy, tracer=tracer, track=track).run(program)

@@ -41,6 +41,10 @@ class KernelStats:
     analysis_seconds: float
     #: per-core busy cycles inside this kernel
     core_busy: np.ndarray
+    #: scheduling waves the kernel needed (max tasks on any one core)
+    num_waves: int = 0
+    #: tasks actually dispatched (all-zero output partitions are skipped)
+    tasks_executed: int = 0
 
     @property
     def skipped_pairs(self) -> int:

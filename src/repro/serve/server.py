@@ -43,6 +43,7 @@ from repro.engine.cache import CacheStats, ProgramCache
 from repro.engine.core import MUTATION_POLICIES, Engine
 from repro.engine.pool import AcceleratorPool
 from repro.hw.memory import pcie_transfer_seconds
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.executor import run_strategy
 from repro.serve.batcher import MicroBatch, MicroBatcher
 from repro.serve.request import (
@@ -114,6 +115,8 @@ class ServingReport:
     max_shard_width: int = 0
     halo_bytes: int = 0
     halo_s: float = 0.0
+    #: MetricsRegistry snapshot of the sweep (counters/gauges/histograms)
+    metrics: dict = field(repr=False, default_factory=dict)
     responses: list[InferenceResponse] = field(repr=False, default_factory=list)
 
     def format_report(self) -> str:
@@ -155,6 +158,45 @@ class ServingReport:
                 f"{self.mutation_evictions} evicted"
             )
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (``repro serve-bench --json``);
+        per-response records are summarised, not dumped."""
+        return {
+            "num_requests": self.num_requests,
+            "num_batches": self.num_batches,
+            "pool_size": self.pool_size,
+            "max_batch_size": self.max_batch_size,
+            "max_wait_s": self.max_wait_s,
+            "makespan_s": self.makespan_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_p50_s": self.latency_p50_s,
+            "latency_p95_s": self.latency_p95_s,
+            "latency_p99_s": self.latency_p99_s,
+            "latency_mean_s": self.latency_mean_s,
+            "queue_mean_s": self.queue_mean_s,
+            "queue_p95_s": self.queue_p95_s,
+            "avg_batch_size": self.avg_batch_size,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "compile_s": self.compile_s,
+            "compile_saved_s": self.compile_saved_s,
+            "device_busy_s": list(self.device_busy_s),
+            "device_utilization": list(self.device_utilization),
+            "load_balance": self.load_balance,
+            "num_mutations": self.num_mutations,
+            "num_patches": self.num_patches,
+            "num_patch_fallbacks": self.num_patch_fallbacks,
+            "patch_s": self.patch_s,
+            "mutation_evictions": self.mutation_evictions,
+            "sharded_batches": self.sharded_batches,
+            "sharded_requests": self.sharded_requests,
+            "max_shard_width": self.max_shard_width,
+            "halo_bytes": self.halo_bytes,
+            "halo_s": self.halo_s,
+            "metrics": self.metrics,
+        }
 
 
 class InferenceServer:
@@ -236,6 +278,11 @@ class InferenceServer:
     @property
     def config(self) -> AcceleratorConfig:
         return self.engine.config
+
+    @property
+    def tracer(self):
+        """The engine's session tracer (NULL_TRACER when disabled)."""
+        return self.engine.tracer
 
     @property
     def cache(self) -> ProgramCache:
@@ -465,7 +512,20 @@ class InferenceServer:
         #: taking later-flushed but earlier-ready work
         flushed: list[tuple[float, int, MicroBatch]] = []
 
+        tracer = self.tracer
+
         def dispatch(batch: MicroBatch, close_s: float) -> None:
+            if tracer.enabled:
+                # the batch-formation window: first member's admission to
+                # the flush that closed the batch
+                tracer.span(
+                    "serve", f"batch{batch.batch_id}/form",
+                    batch.opened_s, close_s, cat="batch",
+                    size=batch.size, key=str(batch.requests[0].model),
+                )
+                tracer.counter(
+                    "serve", "queue_depth", close_s, batcher.pending,
+                )
             flushed.append((max(batch.ready_s, close_s), len(flushed), batch))
 
         events = sorted(
@@ -497,10 +557,23 @@ class InferenceServer:
             program, compile_s, hit = self.cache.get_or_compile(
                 prog_key, lambda: self._compile(req)
             )
+            if tracer.enabled:
+                tracer.instant(
+                    "serve", f"req{req.request_id}/enqueue", now,
+                    cat="enqueue", model=str(req.model),
+                    cache="hit" if hit else "miss", shards=req.shards,
+                )
             if not hit:
                 # the compile queues behind the host's in-flight work
-                host["free"] = max(now, host["free"]) + compile_s
+                compile_start = max(now, host["free"])
+                host["free"] = compile_start + compile_s
                 program_ready[prog_key] = host["free"]
+                if tracer.enabled:
+                    tracer.span(
+                        "host/compile",
+                        f"compile {req.model}/{req.dataset_name}",
+                        compile_start, host["free"], cat="compile",
+                    )
             if graph_id is not None:
                 self._graph_keys[graph_id][prog_key] = (
                     self._graphs[graph_id].version
@@ -513,6 +586,8 @@ class InferenceServer:
             )
             if full is not None:
                 dispatch(full, now)
+            elif tracer.enabled:
+                tracer.counter("serve", "queue_depth", now, batcher.pending)
         # end of stream: no further arrivals can join, so remaining groups
         # flush immediately instead of idling out their max_wait windows
         # (which would floor the makespan and understate throughput)
@@ -572,6 +647,36 @@ class InferenceServer:
         else:
             utilization = [0.0 for _ in range(self.pool.num_devices)]
         lookups = hits + misses
+        mc = mutation_counters or {}
+        sc = shard_counters or {}
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(n)
+        registry.counter("serve.batches").inc(num_batches)
+        registry.counter("serve.cache_hits").inc(hits)
+        registry.counter("serve.cache_misses").inc(misses)
+        registry.counter("serve.compile_s").inc(compile_s)
+        registry.counter("serve.compile_saved_s").inc(saved_s)
+        registry.counter("serve.mutations").inc(mc.get("mutations", 0))
+        registry.counter("serve.patches").inc(mc.get("patches", 0))
+        registry.counter("serve.patch_fallbacks").inc(mc.get("fallbacks", 0))
+        registry.counter("serve.sharded_batches").inc(sc.get("batches", 0))
+        registry.counter("serve.sharded_requests").inc(sc.get("requests", 0))
+        registry.counter("serve.halo_bytes").inc(sc.get("halo_bytes", 0))
+        registry.gauge("serve.cache_hit_rate").set(
+            hits / lookups if lookups else 0.0
+        )
+        registry.gauge("serve.load_balance").set(self.pool.load_balance())
+        registry.gauge("serve.max_shard_width").set(sc.get("width", 0))
+        for d, u in enumerate(utilization):
+            registry.gauge(f"serve.dev{d}.busy_fraction").set(u)
+        lat_h = registry.histogram("serve.latency_s")
+        queue_h = registry.histogram("serve.queue_s")
+        for r in responses:
+            lat_h.observe(r.latency_s)
+            queue_h.observe(r.queue_s)
+        batch_h = registry.histogram("serve.batch_size")
+        for size in {r.batch_id: r.batch_size for r in responses}.values():
+            batch_h.observe(size)
         return ServingReport(
             num_requests=n,
             num_batches=num_batches,
@@ -605,6 +710,7 @@ class InferenceServer:
             max_shard_width=(shard_counters or {}).get("width", 0),
             halo_bytes=(shard_counters or {}).get("halo_bytes", 0),
             halo_s=(shard_counters or {}).get("halo_s", 0.0),
+            metrics=registry.snapshot(),
             responses=responses,
         )
 

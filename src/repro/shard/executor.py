@@ -41,6 +41,7 @@ from repro.formats.partition import PartitionedMatrix
 from repro.gnn.activations import activation_fn
 from repro.hw.memory import pcie_transfer_seconds
 from repro.ir.kernel import KernelType
+from repro.obs.tracer import NULL_TRACER
 from repro.runtime.executor import (
     InferenceResult,
     KernelAssembly,
@@ -170,6 +171,34 @@ class ShardedResult:
             )
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (``repro shard-bench --json``)."""
+        return {
+            "model": self.model_name,
+            "dataset": self.data_name,
+            "strategy": self.strategy_name,
+            "num_shards": self.num_shards,
+            "latency_ms": self.latency_ms,
+            "halo_bytes": self.halo_bytes,
+            "halo_s": self.halo_s,
+            "halo_fraction": self.halo_fraction,
+            "load_balance": self.load_balance(),
+            "nnz_balance": self.plan.nnz_balance(),
+            "runtime_overhead_seconds": self.runtime_overhead_seconds,
+            "kernels": [
+                {
+                    "kernel_id": ks.kernel_id,
+                    "ktype": ks.ktype.name,
+                    "barrier_ms": ks.barrier_s * 1e3,
+                    "slowest_shard": int(np.argmax(ks.shard_seconds)),
+                    "halo_bytes": int(ks.shard_halo_bytes.sum()),
+                    "shard_ms": [float(s) * 1e3 for s in ks.shard_seconds],
+                    "shard_tasks": [int(t) for t in ks.shard_tasks],
+                }
+                for ks in self.kernel_stats
+            ],
+        }
+
 
 class ShardedRuntime:
     """Drives one program across the devices of an accelerator pool.
@@ -192,6 +221,7 @@ class ShardedRuntime:
         plan: ShardPlan,
         *,
         book_on_pool: bool = True,
+        tracer=NULL_TRACER,
     ) -> None:
         if plan.num_shards > pool.num_devices:
             raise ValueError(
@@ -205,6 +235,7 @@ class ShardedRuntime:
         self.strategy = strategy
         self.plan = plan
         self.book_on_pool = book_on_pool
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: per-operand halo vertex counts, cached across kernels; the
         #: plan already computed the balance adjacency's counts
         self._halo_cache: dict[str, np.ndarray] = {}
@@ -241,6 +272,9 @@ class ShardedRuntime:
         kernel_stats: list[ShardKernelStats] = []
         analysis_total = 0.0
         layer_ready = 0.0
+        #: cumulative layer start on the sharded-run clock (trace only);
+        #: independent of the pool clock, which may carry prior bookings
+        t_layer = 0.0
 
         def view(name: str, blocking: tuple[int, int]) -> PartitionedMatrix:
             if name in local_store:
@@ -325,6 +359,42 @@ class ShardedRuntime:
                 )
 
             barrier_s = float(seconds.max()) if n else 0.0
+            if self.tracer.enabled:
+                # shard core-timelines are compute-only clocks that do
+                # not carry the halo offsets, so sharded runs trace at
+                # shard granularity: halo -> exec -> barrier-wait per
+                # shard track, plus one layer span on "timeline" whose
+                # durations sum exactly to ShardedResult.latency_s
+                for s in range(n):
+                    if halo_s[s] > 0.0:
+                        self.tracer.span(
+                            f"shard{s}", f"{kernel.kernel_id}/halo",
+                            t_layer, t_layer + halo_s[s], cat="halo",
+                            halo_bytes=int(halo_bytes[s]),
+                        )
+                    exec_end = t_layer + seconds[s]
+                    self.tracer.span(
+                        f"shard{s}", kernel.kernel_id,
+                        t_layer + halo_s[s], exec_end, cat="kernel",
+                        ktype=kernel.ktype.name,
+                        tasks=int(tasks_n[s]),
+                        pairs=int(pairs_n[s]),
+                    )
+                    if barrier_s - seconds[s] > 0.0:
+                        self.tracer.span(
+                            f"shard{s}", f"{kernel.kernel_id}/barrier-wait",
+                            exec_end, t_layer + barrier_s, cat="barrier",
+                        )
+                    self.tracer.counter(
+                        f"shard{s}", "halo_bytes", t_layer,
+                        int(halo_bytes[s]),
+                    )
+                self.tracer.span(
+                    "timeline", kernel.kernel_id,
+                    t_layer, t_layer + barrier_s, cat="layer",
+                    slowest_shard=int(np.argmax(seconds)) if n else 0,
+                )
+            t_layer += barrier_s
             if self.book_on_pool:
                 # one barrier-synchronised group per layer: every member
                 # is held to the barrier, busy reflects its shard's work
@@ -379,6 +449,7 @@ def run_sharded(
     pool: AcceleratorPool | None = None,
     plan: ShardPlan | None = None,
     book_on_pool: bool = True,
+    tracer=NULL_TRACER,
 ) -> ShardedResult:
     """Convenience: plan + execute one program across ``num_shards``
     devices (a dedicated pool is created unless one is passed)."""
@@ -388,5 +459,5 @@ def run_sharded(
         pool = AcceleratorPool(program.config, plan.num_shards)
     strategy = make_strategy(strategy_name, pool.config)
     return ShardedRuntime(
-        pool, strategy, plan, book_on_pool=book_on_pool
+        pool, strategy, plan, book_on_pool=book_on_pool, tracer=tracer
     ).run(program)

@@ -68,3 +68,107 @@ class TestCLI:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestJsonOutput:
+    def test_run_json(self, capsys):
+        import json
+
+        assert main(["run", "--dataset", "CO", "--scale", "0.2",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "simulated"
+        assert payload["model"] == "GCN" and payload["dataset"] == "CO"
+        assert payload["latency_ms"] > 0
+        assert all(k["waves"] >= 1 for k in payload["kernels"])
+
+    def test_run_json_roofline_backend(self, capsys):
+        import json
+
+        assert main(["run", "--dataset", "CO", "--scale", "0.2",
+                     "--backend", "cpu", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "cpu" and payload["latency_ms"] > 0
+
+    def test_shard_bench_json(self, capsys):
+        import json
+
+        # full-scale CO: the u250 partition floor needs >= 2 block rows
+        assert main(["shard-bench", "--dataset", "CO",
+                     "--shards", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["single_device"]["latency_ms"] > 0
+        (sweep,) = payload["sweeps"]
+        assert sweep["num_shards"] == 2 and sweep["bit_exact"] is True
+
+    def test_serve_bench_json(self, capsys):
+        import json
+
+        assert main(["serve-bench", "--requests", "12", "--pool", "2",
+                     "--models", "GCN", "--datasets", "CO",
+                     "--scale", "0.15", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["pool_size"] == 2
+        sweeps = payload["sweeps"]
+        assert sweeps["cold_pool2"]["num_requests"] == 12
+        assert sweeps["warm_pool2"]["cache_hit_rate"] == 1.0
+        assert "serve.requests" in sweeps["cold_pool2"]["metrics"]["counters"]
+
+
+class TestTraceCommand:
+    def test_trace_writes_a_valid_perfetto_file(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert main(["trace", "GCN", "CO", "--scale", "0.2",
+                     "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "trace validated" in text and "perfetto" in text.lower()
+        trace = json.loads(out.read_text())
+        meta = trace["otherData"]
+        assert meta["model"] == "GCN" and meta["shards"] == 1
+        from repro.obs import validate_trace
+
+        assert validate_trace(trace) == []
+
+    def test_trace_sharded_produces_shard_tracks(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        # full-scale CO: the u250 partition floor needs >= 2 block rows
+        assert main(["trace", "GCN", "CO",
+                     "--shards", "2", "--out", str(out)]) == 0
+        trace = json.loads(out.read_text())
+        names = {
+            e["args"]["name"] for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {"shard0", "shard1", "timeline"} <= names
+        assert trace["otherData"]["reconcile_cats"] == ["layer"]
+
+    def test_trace_jsonl_sidecar(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "events.jsonl"
+        assert main(["trace", "GCN", "CO", "--scale", "0.2",
+                     "--no-task-spans", "--out", str(out),
+                     "--jsonl", str(jsonl)]) == 0
+        lines = jsonl.read_text().splitlines()
+        assert lines and all(json.loads(line) for line in lines)
+        # --no-task-spans keeps the finest granularity out
+        assert not any(json.loads(line)["cat"] == "task" for line in lines)
+
+    def test_trace_validate_mode(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "GCN", "CO", "--scale", "0.2",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "--validate", str(out)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_trace_validate_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [{"ph": "Z"}]}')
+        assert main(["trace", "--validate", str(bad)]) == 1
+        assert "unknown phase" in capsys.readouterr().out

@@ -447,3 +447,88 @@ class TestServingAccountingFixes:
         assert server._lru_capacity == 1
         server.serve([tiny_request(arrival_s=0.0, seed=4)])
         assert len(server._run_memo) == 1
+
+
+class TestShardedServingCounters:
+    """ServingReport's sharded counters under mixed request streams."""
+
+    def _mixed_report(self):
+        server = tiny_server(pool_size=4)
+        requests = [
+            tiny_request(arrival_s=0.000, shards=2),
+            tiny_request(arrival_s=0.000, shards=2),
+            tiny_request(arrival_s=0.010),            # unsharded
+            tiny_request(arrival_s=0.020, shards=4),
+            tiny_request(arrival_s=0.030),            # unsharded
+        ]
+        return server.serve(requests)
+
+    def test_mixed_stream_counts_only_sharded_batches(self):
+        report = self._mixed_report()
+        # the two shards=2 requests share a batch_key and micro-batch;
+        # the shards=4 request is its own batch; the unsharded two are
+        # never counted
+        assert report.sharded_batches == 2
+        assert report.sharded_requests == 3
+        assert report.max_shard_width == 4
+        assert report.num_requests == 5
+
+    def test_halo_accounting_is_populated_for_sharded_batches(self):
+        report = self._mixed_report()
+        assert report.halo_bytes > 0
+        assert report.halo_s > 0.0
+
+    def test_responses_carry_their_shard_width(self):
+        report = self._mixed_report()
+        widths = sorted(r.shards for r in report.responses)
+        assert widths == [1, 1, 2, 2, 4]
+        sharded = [r for r in report.responses if r.shards > 1]
+        # a sharded batch books `shards` pool devices; the response
+        # reports the lowest-numbered one
+        assert all(0 <= r.device < 4 for r in sharded)
+
+    def test_metrics_snapshot_mirrors_the_counters(self):
+        report = self._mixed_report()
+        counters = report.metrics["counters"]
+        assert counters["serve.sharded_batches"] == report.sharded_batches
+        assert counters["serve.sharded_requests"] == report.sharded_requests
+        assert counters["serve.halo_bytes"] == report.halo_bytes
+        assert report.metrics["gauges"]["serve.max_shard_width"] == \
+            report.max_shard_width
+        assert report.metrics["histograms"]["serve.latency_s"]["count"] == 5
+
+    def test_unsharded_stream_leaves_counters_at_zero(self):
+        server = tiny_server(pool_size=2)
+        report = server.serve(
+            [tiny_request(arrival_s=0.01 * i) for i in range(3)]
+        )
+        assert report.sharded_batches == 0
+        assert report.sharded_requests == 0
+        assert report.max_shard_width == 0
+        assert report.halo_bytes == 0 and report.halo_s == 0.0
+        assert report.metrics["counters"]["serve.sharded_batches"] == 0
+
+    def test_sharded_outputs_stay_exact_through_the_server(self):
+        server = tiny_server(pool_size=2)
+        report = server.serve([
+            tiny_request(arrival_s=0.0, shards=2),
+            tiny_request(arrival_s=0.01),
+        ])
+        data = load_dataset("CO", scale=SCALE, seed=3)
+        model = build_model("GCN", data.num_features, data.hidden_dim,
+                            data.num_classes)
+        expected = reference_inference(model, data.a, data.h0,
+                                       init_weights(model, seed=3))
+        for resp in report.responses:
+            np.testing.assert_allclose(resp.output, expected, rtol=1e-5,
+                                       atol=1e-6)
+
+    def test_report_to_dict_includes_shard_counters_and_metrics(self):
+        import json
+
+        report = self._mixed_report()
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["sharded_batches"] == report.sharded_batches
+        assert payload["max_shard_width"] == report.max_shard_width
+        assert payload["halo_bytes"] == report.halo_bytes
+        assert "serve.halo_bytes" in payload["metrics"]["counters"]
