@@ -1,0 +1,162 @@
+"""O2 — trace analytics: attribution must reconcile, what-ifs must match.
+
+``repro.obs.analyze`` turns recorded spans into steering numbers — what
+share of a sharded run's critical path is halo exchange, and what
+overlapping or eliminating it would buy.  Those numbers are only useful
+if they are *honest*, so this bench runs a traced sharded inference and
+gates three invariants on every CI run:
+
+- the critical-path category sums reconcile with
+  ``ShardedResult.latency_s`` within 1%;
+- the zero-halo what-if projection equals the result's own halo-seconds
+  accounting (``ShardedResult.zero_halo_latency_s``) bit-for-bit;
+- diffing the trace against itself reports zero deltas.
+
+The emitted metrics track the ROADMAP's halo-overlap headroom (the
+halo share of the critical path and the projected overlap/zero-halo
+speedups) plus the analyzer's own wall-clock cost, so a perf regression
+in either the modelled numbers or the analysis itself is caught by the
+baseline gate.
+
+Runs two ways:
+
+- ``pytest benchmarks/bench_trace_analyze.py`` — pytest harness;
+- ``python benchmarks/bench_trace_analyze.py [--smoke]`` — standalone,
+  used by CI's benchmark smoke job.
+"""
+
+import argparse
+import sys
+import time
+
+import numpy as np
+from _common import Metric, emit, format_table, register_bench
+from repro.config import small_test_config, u250_default
+from repro.engine import Engine
+from repro.obs import TraceModel, Tracer, attribute, diff_traces, project
+
+FULL = dict(model="GCN", dataset="PU", scale=1.0, shards=4)
+SMOKE = dict(model="GCN", dataset="CO", scale=1.0, shards=2)
+
+#: attribution must reconcile with the reported latency within 1%
+RECONCILE_RTOL = 0.01
+
+
+def measure(*, model, dataset, scale, shards, config):
+    """Traced sharded run + full analysis; returns the steering numbers."""
+    tracer = Tracer(task_spans=False)
+    engine = Engine(config, pool_size=shards, tracer=tracer)
+    handle = engine.compile(model, dataset, scale=scale, shards=shards)
+    result = engine.infer(handle, backend="sharded")
+    trace_model = TraceModel.from_tracer(tracer, meta={
+        "expected_total_s": result.latency_s,
+        "num_cores": config.num_cores,
+    })
+
+    t0 = time.perf_counter()
+    att = attribute(trace_model)
+    zero = project(trace_model, zero_halo=True)
+    overlap = project(trace_model, overlap_halo=True)
+    diff = diff_traces(trace_model, trace_model)
+    analyze_s = time.perf_counter() - t0
+
+    assert att.reconciles(RECONCILE_RTOL), (
+        f"attribution does not reconcile: critical path {att.total_s:.9f} s "
+        f"vs reported {result.latency_s:.9f} s "
+        f"(residual {att.residual_frac():.2%})"
+    )
+    assert np.isclose(
+        zero.projected_s, result.zero_halo_latency_s(), rtol=1e-9
+    ), (
+        f"zero-halo projection {zero.projected_s:.9f} s does not match "
+        f"ShardedResult accounting {result.zero_halo_latency_s():.9f} s"
+    )
+    assert np.isclose(
+        overlap.projected_s, result.overlap_halo_latency_s(), rtol=1e-9
+    ), "overlap-halo projection diverges from ShardedResult accounting"
+    assert diff.is_zero(), "self-diff must report zero deltas"
+
+    return {
+        "latency_s": result.latency_s,
+        "halo_frac": att.fraction("halo"),
+        "kernel_frac": att.fraction("kernel"),
+        "zero_halo_speedup": zero.speedup,
+        "overlap_halo_speedup": overlap.speedup,
+        "analyze_s": analyze_s,
+        "num_segments": att.num_segments,
+    }
+
+
+def _table(params, stats) -> str:
+    return format_table(
+        ["model", "dataset", "shards", "latency (ms)", "halo share",
+         "zero-halo", "overlap-halo", "analyze (ms)"],
+        [[params["model"], params["dataset"], params["shards"],
+          f"{stats['latency_s'] * 1e3:.4f}",
+          f"{stats['halo_frac'] * 100:.2f}%",
+          f"{stats['zero_halo_speedup']:.3f}x",
+          f"{stats['overlap_halo_speedup']:.3f}x",
+          f"{stats['analyze_s'] * 1e3:.3f}"]],
+        title="O2: critical-path attribution + what-if projections",
+    )
+
+
+@register_bench(
+    "trace_analyze",
+    tier=("smoke", "full"),
+    tags=("obs", "shard"),
+    # the fractions/speedups are modelled (machine-independent) but the
+    # shard plan shifts with the scaled dataset, so keep the default
+    # band; analyze_ms is wall-clock and gets the cross-machine band
+    tolerances={},
+)
+def _spec(ctx):
+    """Attribution reconciliation + what-if oracles on a sharded trace."""
+    params = SMOKE if ctx.smoke else FULL
+    config = small_test_config() if ctx.smoke else u250_default()
+    stats = measure(**params, config=config)
+    emit("bench_trace_analyze", _table(params, stats))
+    return {
+        "halo_frac": Metric("halo_frac", stats["halo_frac"], "frac"),
+        "zero_halo_speedup": Metric(
+            "zero_halo_speedup", stats["zero_halo_speedup"], "x", "higher"
+        ),
+        "overlap_halo_speedup": Metric(
+            "overlap_halo_speedup", stats["overlap_halo_speedup"], "x",
+            "higher",
+        ),
+        "analyze_ms": Metric("analyze_ms", stats["analyze_s"] * 1e3, "ms"),
+    }
+
+
+def test_trace_analyze():
+    """The three analyzer invariants hold on a sharded smoke run."""
+    stats = measure(**SMOKE, config=small_test_config())
+    emit("bench_trace_analyze", _table(SMOKE, stats))
+    assert stats["zero_halo_speedup"] >= 1.0
+    assert stats["overlap_halo_speedup"] >= 1.0
+    # overlap can never beat free halos
+    assert stats["overlap_halo_speedup"] <= stats["zero_halo_speedup"] + 1e-12
+    assert 0.0 <= stats["halo_frac"] < 1.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small config + 2 shards (CI smoke job)",
+    )
+    args = parser.parse_args(argv)
+    params = SMOKE if args.smoke else FULL
+    config = small_test_config() if args.smoke else u250_default()
+    stats = measure(**params, config=config)
+    print(_table(params, stats))
+    print(f"\nOK: attribution reconciles over {stats['num_segments']} "
+          f"critical-path segments; halo share "
+          f"{stats['halo_frac'] * 100:.2f}%, overlap-halo would buy "
+          f"{stats['overlap_halo_speedup']:.3f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

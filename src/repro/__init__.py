@@ -70,7 +70,7 @@ from repro.serve import (
     ServingReport,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: legacy top-level entry points -> (module, attribute, replacement hint).
 #: Accessing them still works but warns once per process: the Engine

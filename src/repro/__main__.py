@@ -10,6 +10,7 @@ Gives downstream users the paper's core experiment without writing code:
     python -m repro serve-bench --pool 4 --requests 200 --arrival poisson
     python -m repro shard-bench --dataset PU --shards 2,4
     python -m repro trace GCN PU --shards 4 --out trace.json
+    python -m repro trace-analyze trace.json --what-if overlap-halo
     python -m repro dyngraph-bench --dataset PU --edge-fraction 0.01
     python -m repro engine-bench --repeats 9
 
@@ -381,8 +382,10 @@ def cmd_trace(args) -> int:
         write_trace,
     )
 
+    if args.rtol <= 0:
+        raise SystemExit("trace: --rtol must be positive")
     if args.validate is not None:
-        errors = validate_trace(args.validate)
+        errors = validate_trace(args.validate, rtol=args.rtol)
         if errors:
             for err in errors:
                 print(f"invalid: {err}")
@@ -405,6 +408,7 @@ def cmd_trace(args) -> int:
     else:
         result = engine.infer(handle, strategy=args.strategy)
         reconcile_cats = ["kernel", "exposed"]
+    config = engine.config
     meta = {
         "model": handle.model_name,
         "dataset": handle.data_name,
@@ -412,20 +416,79 @@ def cmd_trace(args) -> int:
         "shards": args.shards,
         "expected_total_s": result.latency_s,
         "reconcile_cats": reconcile_cats,
+        # accelerator parameters the what-if projections scale against
+        "num_cores": config.num_cores,
+        "pcie_gbps": config.memory.pcie_gbps,
     }
     path = write_trace(tracer, args.out, meta=meta)
-    errors = validate_trace(to_perfetto(tracer, meta=meta))
+    errors = validate_trace(to_perfetto(tracer, meta=meta), rtol=args.rtol)
     print(f"{handle.model_name} on {handle.data_name}, "
           f"{args.shards} shard(s): latency {sci(result.latency_ms)} ms")
     print(f"trace written to {path} — load it at https://ui.perfetto.dev")
     if args.jsonl:
         print(f"event log written to {write_jsonl(tracer, args.jsonl)}")
-    print(flame_summary(tracer))
+    print(flame_summary(tracer, top=args.top))
     if errors:
         for err in errors:
             print(f"invalid: {err}")
         return 1
     print("trace validated: span sums reconcile with the reported latency")
+    return 0
+
+
+def cmd_trace_analyze(args) -> int:
+    from repro.obs import (
+        TraceError,
+        TraceModel,
+        attribute,
+        diff_traces,
+        parse_what_if,
+        project,
+    )
+
+    try:
+        model = TraceModel.from_file(args.trace)
+        att = attribute(model)
+        what_ifs = [
+            project(model, **parse_what_if(spec))
+            for spec in (args.what_if or [])
+        ]
+        diff = diff_traces(model, TraceModel.from_file(args.diff)) \
+            if args.diff else None
+    except TraceError as exc:
+        print(f"trace-analyze: {exc}", file=sys.stderr)
+        return 1
+
+    lines = [att.format_report()]
+    lines.extend(wi.describe() for wi in what_ifs)
+    if diff is not None:
+        lines.append(diff.format_report(top=args.top))
+    report = "\n".join(lines)
+
+    if args.json:
+        payload = {
+            "trace": str(args.trace),
+            "attribution": att.to_dict(),
+            "what_ifs": [wi.to_dict() for wi in what_ifs],
+        }
+        if diff is not None:
+            payload["diff"] = diff.to_dict(top=args.top)
+            payload["diff"]["baseline"] = str(args.diff)
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report)
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report + "\n")
+        print(f"attribution report written to {out}")
+    if not att.reconciles():
+        print(
+            f"trace-analyze: critical-path sum does not reconcile with the "
+            f"reported latency (residual {att.residual_frac():.2%})",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -623,6 +686,19 @@ def cmd_perf_diff(args) -> int:
     regressions = [c for c in comparisons if c.is_regression]
     if not shown and not missing:
         print(f"{len(comparisons)} metric(s) compared, all within tolerance")
+    if args.attribute and (regressions or args.all):
+        # pair the BENCH numbers with the trace artifacts: which span
+        # group moved, and where the latency lives on the critical path
+        from repro.obs import attribution_lines
+
+        trace_path = Path(args.trace) if args.trace else new_dir / "trace.json"
+        baseline_trace = (
+            Path(args.baseline_trace) if args.baseline_trace
+            else base_dir / "trace.json"
+        )
+        print()
+        for line in attribution_lines(trace_path, baseline_trace):
+            print(line)
     if regressions:
         print(f"{len(regressions)} regression(s) beyond tolerance")
         return 1
@@ -719,7 +795,35 @@ def main(argv=None) -> int:
     p_trace.add_argument("--validate", default=None, metavar="PATH",
                          help="validate an existing trace.json and exit "
                               "(no run)")
+    p_trace.add_argument("--top", type=int, default=12,
+                         help="hottest-span rows in the flame summary "
+                              "(the rest aggregate into an (other) row)")
+    p_trace.add_argument("--rtol", type=float, default=0.01,
+                         help="relative tolerance of the span-sum "
+                              "reconciliation check")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_ta = sub.add_parser(
+        "trace-analyze",
+        help="critical-path attribution, what-if projections and trace "
+             "diffing over an exported trace.json (repro.obs.analyze)",
+    )
+    p_ta.add_argument("trace", help="trace.json produced by `repro trace`")
+    p_ta.add_argument("--diff", default=None, metavar="OTHER",
+                      help="diff against this baseline trace.json "
+                           "(per span-group deltas)")
+    p_ta.add_argument("--what-if", action="append", default=None,
+                      metavar="SPEC",
+                      help="project a hypothetical; comma-compose tokens "
+                           "zero-halo, overlap-halo, interconnect=K, "
+                           "cores=N (repeatable)")
+    p_ta.add_argument("--top", type=int, default=10,
+                      help="span-group rows shown in the diff report")
+    p_ta.add_argument("--json", action="store_true",
+                      help="emit the analysis as JSON instead of text")
+    p_ta.add_argument("--out", default=None, metavar="PATH",
+                      help="also write the text report here (CI artifact)")
+    p_ta.set_defaults(func=cmd_trace_analyze)
 
     p_srv = sub.add_parser(
         "serve-bench",
@@ -840,6 +944,16 @@ def main(argv=None) -> int:
                              "results/baselines)")
     p_diff.add_argument("--all", action="store_true",
                         help="also print metrics within tolerance")
+    p_diff.add_argument("--attribute", action="store_true",
+                        help="on regression (or with --all), pair the "
+                             "BENCH numbers with trace artifacts: diff "
+                             "span groups vs the baseline trace and print "
+                             "the new trace's critical-path attribution")
+    p_diff.add_argument("--trace", default=None, metavar="PATH",
+                        help="new trace.json (default: <new>/trace.json)")
+    p_diff.add_argument("--baseline-trace", default=None, metavar="PATH",
+                        help="baseline trace.json (default: "
+                             "<baseline>/trace.json)")
     p_diff.set_defaults(func=cmd_perf_diff)
 
     p_res = sub.add_parser("resources", help="Fig. 9 resource table")

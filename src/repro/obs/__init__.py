@@ -12,7 +12,13 @@ Three planes, all default-off and free when disabled:
   ``BENCH_*.json``;
 - **exporters** (:mod:`repro.obs.export`): Perfetto/Chrome
   ``trace.json``, flat JSONL, flamegraph-style text summary, plus the
-  ``repro trace --validate`` schema gate.
+  ``repro trace --validate`` schema gate;
+- **analytics** (:mod:`repro.obs.analyze`): :class:`TraceModel` loading
+  spans back out of a live tracer *or* an exported ``trace.json``,
+  barrier-aware critical-path :func:`attribute`-ion, what-if
+  :func:`project`-ions (zero-halo / overlap-halo / interconnect /
+  cores) and :func:`diff_traces` span-group diffing — the machinery
+  behind ``repro trace-analyze`` and ``repro perf-diff --attribute``.
 
 Quickstart::
 
@@ -26,6 +32,21 @@ Quickstart::
     write_trace(tracer, "trace.json")   # load in https://ui.perfetto.dev
 """
 
+from repro.obs.analyze import (
+    Attribution,
+    GroupDelta,
+    PathSegment,
+    TraceDiff,
+    TraceError,
+    TraceModel,
+    WhatIf,
+    attribute,
+    attribution_lines,
+    critical_path,
+    diff_traces,
+    parse_what_if,
+    project,
+)
 from repro.obs.export import (
     flame_summary,
     to_jsonl,
@@ -44,15 +65,28 @@ from repro.obs.tracer import NULL_TRACER, CounterSample, NullTracer, Span, Trace
 
 __all__ = [
     "NULL_TRACER",
+    "Attribution",
     "CounterMetric",
     "CounterSample",
     "GaugeMetric",
+    "GroupDelta",
     "HistogramMetric",
     "MetricsRegistry",
     "NullTracer",
+    "PathSegment",
     "Span",
+    "TraceDiff",
+    "TraceError",
+    "TraceModel",
     "Tracer",
+    "WhatIf",
+    "attribute",
+    "attribution_lines",
+    "critical_path",
+    "diff_traces",
     "flame_summary",
+    "parse_what_if",
+    "project",
     "to_jsonl",
     "to_perfetto",
     "validate_trace",

@@ -187,11 +187,21 @@ def flame_summary(tracer: Tracer, *, top: int = 12) -> str:
             f"{frac * 100:>6.1f}%  {_bar(frac)}"
         )
     lines.append(f"  hottest spans (by name, top {top}):")
-    for name, dur, count in rollup(lambda sp: sp.name)[:top]:
+    by_name = rollup(lambda sp: sp.name)
+    for name, dur, count in by_name[:top]:
         frac = dur / total if total else 0.0
         lines.append(
             f"    {name:<28}{count:>6}x {dur * 1e3:>12.4f} ms "
             f"{frac * 100:>6.1f}%"
+        )
+    tail = by_name[top:]
+    if tail:
+        dur = sum(item[1] for item in tail)
+        count = sum(item[2] for item in tail)
+        frac = dur / total if total else 0.0
+        lines.append(
+            f"    {f'(other: {len(tail)} names)':<28}{count:>6}x "
+            f"{dur * 1e3:>12.4f} ms {frac * 100:>6.1f}%"
         )
     lines.append("  per track:")
     for track, dur, count in sorted(rollup(lambda sp: sp.track)):
@@ -205,14 +215,16 @@ def flame_summary(tracer: Tracer, *, top: int = 12) -> str:
 _KNOWN_PHASES = {"X", "i", "C", "M"}
 
 
-def validate_trace(trace: dict | str | Path) -> list[str]:
+def validate_trace(
+    trace: dict | str | Path, *, rtol: float = RECONCILE_RTOL
+) -> list[str]:
     """Check a ``trace.json`` against the trace-event invariants.
 
     Accepts the trace dict or a path to one.  Returns a list of error
     strings — empty means the trace is structurally sound *and* (when
     ``otherData`` carries ``expected_total_s`` + ``reconcile_cats``) the
     span duration sums reconcile with the run's reported latency to
-    within ``RECONCILE_RTOL``.
+    within ``rtol`` (default :data:`RECONCILE_RTOL`).
     """
     if not isinstance(trace, dict):
         path = Path(trace)
@@ -281,11 +293,11 @@ def validate_trace(trace: dict | str | Path) -> list[str]:
             and event.get("cat") in set(cats)
         ) * 1e-6
         expected = float(expected)
-        tol = max(abs(expected) * RECONCILE_RTOL, 1e-12)
+        tol = max(abs(expected) * rtol, 1e-12)
         if abs(span_sum - expected) > tol:
             errors.append(
                 f"span-sum reconciliation failed: cats {sorted(cats)} sum to "
                 f"{span_sum:.9f} s but the run reported {expected:.9f} s "
-                f"(tolerance {RECONCILE_RTOL:.0%})"
+                f"(tolerance {rtol:.2%})"
             )
     return errors

@@ -132,6 +132,10 @@ class InferenceResponse:
     accel_cycles: float
     #: devices the execution was sharded across (1 = unsharded)
     shards: int = 1
+    #: mean per-shard barrier-wait seconds inside ``service_s`` (0.0 when
+    #: unsharded): time shards idled at per-layer barriers waiting for
+    #: the slowest shard — the halo-overlap headroom per request
+    barrier_s: float = 0.0
     #: model output — a read-only ndarray shared by every response served
     #: from the same (program, strategy); copy before mutating.  None when
     #: the server runs with ``return_outputs=False``
@@ -146,3 +150,8 @@ class InferenceResponse:
     def queue_s(self) -> float:
         """Time between arrival and the batch starting on a device."""
         return self.start_s - self.arrival_s
+
+    @property
+    def execute_s(self) -> float:
+        """Device-occupancy seconds net of barrier waits."""
+        return self.service_s - self.barrier_s

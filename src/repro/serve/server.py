@@ -71,6 +71,8 @@ class _RunMemo:
     #: halo-exchange traffic of one sharded execution
     halo_bytes: int = 0
     halo_s: float = 0.0
+    #: mean per-shard barrier-wait seconds (0.0 when unsharded)
+    barrier_s: float = 0.0
 
 
 @dataclass
@@ -117,6 +119,10 @@ class ServingReport:
     halo_s: float = 0.0
     #: MetricsRegistry snapshot of the sweep (counters/gauges/histograms)
     metrics: dict = field(repr=False, default_factory=dict)
+    #: per-request phase decomposition (queue_wait / compile / execute /
+    #: barrier -> histogram snapshot with count/sum/mean/p50/p95/p99);
+    #: latency_s = queue_wait + execute + barrier for every request
+    phase_breakdown: dict = field(repr=False, default_factory=dict)
     responses: list[InferenceResponse] = field(repr=False, default_factory=list)
 
     def format_report(self) -> str:
@@ -142,6 +148,18 @@ class ServingReport:
             f"  device utilization: {util} (load balance "
             f"{self.load_balance:.3f})",
         ]
+        if self.phase_breakdown:
+            for phase in ("queue_wait", "compile", "execute", "barrier"):
+                snap = self.phase_breakdown.get(phase)
+                if not snap or not snap.get("count"):
+                    continue
+                lines.append(
+                    f"  phase {phase:<12}: p50/p95/p99 "
+                    f"{snap['p50'] * 1e3:.3f} / {snap['p95'] * 1e3:.3f} / "
+                    f"{snap['p99'] * 1e3:.3f} ms "
+                    f"(mean {snap['mean'] * 1e3:.3f}, "
+                    f"total {snap['sum'] * 1e3:.3f} ms)"
+                )
         if self.sharded_batches:
             lines.append(
                 f"  sharded execution : {self.sharded_batches} batches "
@@ -196,6 +214,7 @@ class ServingReport:
             "halo_bytes": self.halo_bytes,
             "halo_s": self.halo_s,
             "metrics": self.metrics,
+            "phase_breakdown": self.phase_breakdown,
         }
 
 
@@ -375,6 +394,12 @@ class InferenceServer:
                     shard_busy_s=tuple(float(b) for b in result.shard_busy_s),
                     halo_bytes=result.halo_bytes,
                     halo_s=result.halo_s,
+                    # mean per-shard idle time at layer barriers — equals
+                    # the mean of the trace's barrier-wait span sums
+                    barrier_s=max(
+                        result.latency_s - float(np.mean(result.shard_busy_s)),
+                        0.0,
+                    ),
                 )
                 accel_cycles = result.latency_s * self.config.freq_hz
             else:
@@ -468,6 +493,7 @@ class InferenceServer:
                     batch_size=batch.size,
                     device=device,
                     shards=memo.shards,
+                    barrier_s=memo.barrier_s,
                     accel_cycles=memo.accel_cycles,
                     output=memo.output if self.return_outputs else None,
                 )
@@ -671,12 +697,27 @@ class InferenceServer:
             registry.gauge(f"serve.dev{d}.busy_fraction").set(u)
         lat_h = registry.histogram("serve.latency_s")
         queue_h = registry.histogram("serve.queue_s")
+        # per-request phase decomposition: queueing (arrival -> device
+        # start), exposed compile, execution net of barriers, and
+        # barrier waits — latency_s = queue_wait + execute + barrier
+        # for every request (compile overlaps the queue phase)
+        phase_hists = {
+            phase: registry.histogram(f"serve.phase.{phase}_s")
+            for phase in ("queue_wait", "compile", "execute", "barrier")
+        }
         for r in responses:
             lat_h.observe(r.latency_s)
             queue_h.observe(r.queue_s)
+            phase_hists["queue_wait"].observe(r.queue_s)
+            phase_hists["compile"].observe(r.compile_s)
+            phase_hists["execute"].observe(r.execute_s)
+            phase_hists["barrier"].observe(r.barrier_s)
         batch_h = registry.histogram("serve.batch_size")
         for size in {r.batch_id: r.batch_size for r in responses}.values():
             batch_h.observe(size)
+        phase_breakdown = {
+            phase: hist.snapshot() for phase, hist in phase_hists.items()
+        }
         return ServingReport(
             num_requests=n,
             num_batches=num_batches,
@@ -711,6 +752,7 @@ class InferenceServer:
             halo_bytes=(shard_counters or {}).get("halo_bytes", 0),
             halo_s=(shard_counters or {}).get("halo_s", 0.0),
             metrics=registry.snapshot(),
+            phase_breakdown=phase_breakdown,
             responses=responses,
         )
 

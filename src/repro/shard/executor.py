@@ -132,6 +132,34 @@ class ShardedResult:
         busy = float(self.shard_busy_s.sum())
         return self.halo_s / busy if busy > 0 else 0.0
 
+    def zero_halo_latency_s(self) -> float:
+        """Latency if every halo exchange were free.
+
+        Per kernel the barrier becomes the slowest shard's *compute*
+        time (``shard_seconds - shard_halo_s``).  This is the oracle the
+        trace analyzer's zero-halo what-if projection must match — both
+        replay the same per-shard accounting, one from the result arrays
+        and one from the recorded spans.
+        """
+        return float(sum(
+            float(np.max(ks.shard_seconds - ks.shard_halo_s))
+            for ks in self.kernel_stats
+        ))
+
+    def overlap_halo_latency_s(self) -> float:
+        """Latency if each shard's halo transfer overlapped its compute.
+
+        The ROADMAP's double-buffered-halo target: per shard the layer
+        time becomes ``max(halo, compute)`` instead of their sum, and
+        the barrier is the max over shards as usual.
+        """
+        return float(sum(
+            float(np.max(np.maximum(
+                ks.shard_halo_s, ks.shard_seconds - ks.shard_halo_s
+            )))
+            for ks in self.kernel_stats
+        ))
+
     def load_balance(self) -> float:
         """Mean shard busy time / max shard busy time; 1.0 = even."""
         busy = self.shard_busy_s
@@ -184,6 +212,8 @@ class ShardedResult:
             "halo_fraction": self.halo_fraction,
             "load_balance": self.load_balance(),
             "nnz_balance": self.plan.nnz_balance(),
+            "zero_halo_latency_ms": self.zero_halo_latency_s() * 1e3,
+            "overlap_halo_latency_ms": self.overlap_halo_latency_s() * 1e3,
             "runtime_overhead_seconds": self.runtime_overhead_seconds,
             "kernels": [
                 {

@@ -172,3 +172,158 @@ class TestTraceCommand:
         bad.write_text('{"traceEvents": [{"ph": "Z"}]}')
         assert main(["trace", "--validate", str(bad)]) == 1
         assert "unknown phase" in capsys.readouterr().out
+
+    def test_trace_validate_truncated_json(self, tmp_path, capsys):
+        bad = tmp_path / "truncated.json"
+        bad.write_text('{"traceEvents": [{"ph": "X", "ts": 0')
+        assert main(["trace", "--validate", str(bad)]) == 1
+        assert "cannot load trace" in capsys.readouterr().out
+
+    def test_trace_validate_no_other_data(self, tmp_path, capsys):
+        # a structurally sound trace without reconciliation metadata must
+        # validate (the span-sum check is simply unarmed)
+        trace = {"traceEvents": [
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+             "args": {"name": "dev0"}},
+            {"name": "k", "cat": "kernel", "ph": "X", "ts": 0.0,
+             "dur": 5.0, "pid": 1, "tid": 1},
+        ]}
+        import json
+
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps(trace))
+        assert main(["trace", "--validate", str(path)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_trace_validate_negative_ts(self, tmp_path, capsys):
+        import json
+
+        trace = {"traceEvents": [
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+             "args": {"name": "dev0"}},
+            {"name": "k", "cat": "kernel", "ph": "X", "ts": -4.0,
+             "dur": 5.0, "pid": 1, "tid": 1},
+        ]}
+        path = tmp_path / "neg.json"
+        path.write_text(json.dumps(trace))
+        assert main(["trace", "--validate", str(path)]) == 1
+        assert "bad ts" in capsys.readouterr().out
+
+    def test_trace_rtol_flag_loosens_reconciliation(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert main(["trace", "GCN", "CO", "--scale", "0.2",
+                     "--no-task-spans", "--out", str(out)]) == 0
+        capsys.readouterr()
+        trace = json.loads(out.read_text())
+        # inflate the reported latency ~5%: the default 1% gate must
+        # fail, an explicit --rtol 0.1 must pass
+        trace["otherData"]["expected_total_s"] *= 1.05
+        out.write_text(json.dumps(trace))
+        assert main(["trace", "--validate", str(out)]) == 1
+        assert "reconciliation failed" in capsys.readouterr().out
+        assert main(["trace", "--validate", str(out),
+                     "--rtol", "0.1"]) == 0
+
+    def test_trace_rtol_must_be_positive(self, tmp_path):
+        with pytest.raises(SystemExit, match="rtol must be positive"):
+            main(["trace", "--validate", str(tmp_path / "x.json"),
+                  "--rtol", "0"])
+
+    def test_trace_top_flag_truncates_flame_summary(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "GCN", "CO", "--scale", "0.2",
+                     "--no-task-spans", "--out", str(out),
+                     "--top", "2"]) == 0
+        text = capsys.readouterr().out
+        assert "top 2" in text and "(other:" in text
+
+
+class TestTraceAnalyzeCommand:
+    @pytest.fixture(scope="class")
+    def sharded_trace(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("ta") / "trace.json"
+        assert main(["trace", "GCN", "CO", "--shards", "2",
+                     "--no-task-spans", "--out", str(out)]) == 0
+        return out
+
+    def test_attribution_report(self, sharded_trace, capsys):
+        assert main(["trace-analyze", str(sharded_trace)]) == 0
+        text = capsys.readouterr().out
+        assert "critical-path attribution" in text
+        assert "reconciles" in text
+
+    def test_what_if_and_self_diff(self, sharded_trace, capsys):
+        assert main(["trace-analyze", str(sharded_trace),
+                     "--what-if", "zero-halo",
+                     "--what-if", "overlap-halo,cores=14",
+                     "--diff", str(sharded_trace)]) == 0
+        text = capsys.readouterr().out
+        assert "what-if zero-halo" in text
+        assert "overlap-halo, cores=14" in text
+        assert "no deltas" in text
+
+    def test_json_output(self, sharded_trace, capsys):
+        import json
+
+        assert main(["trace-analyze", str(sharded_trace), "--json",
+                     "--what-if", "zero-halo"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["attribution"]["reconciles"] is True
+        assert payload["what_ifs"][0]["speedup"] >= 1.0
+
+    def test_out_writes_report_file(self, sharded_trace, tmp_path, capsys):
+        report = tmp_path / "attribution.txt"
+        assert main(["trace-analyze", str(sharded_trace),
+                     "--out", str(report)]) == 0
+        assert "critical-path attribution" in report.read_text()
+        assert str(report) in capsys.readouterr().out
+
+    def test_missing_trace_exits_one(self, tmp_path, capsys):
+        assert main(["trace-analyze", str(tmp_path / "nope.json")]) == 1
+        assert "cannot load trace" in capsys.readouterr().err
+
+    def test_corrupt_trace_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [')
+        assert main(["trace-analyze", str(bad)]) == 1
+        assert "cannot load trace" in capsys.readouterr().err
+
+    def test_empty_trace_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "empty.json"
+        bad.write_text('{"traceEvents": []}')
+        assert main(["trace-analyze", str(bad)]) == 1
+        assert "no traceEvents" in capsys.readouterr().err
+
+    def test_bad_what_if_token_exits_one(self, sharded_trace, capsys):
+        assert main(["trace-analyze", str(sharded_trace),
+                     "--what-if", "warp-drive"]) == 1
+        assert "unknown what-if token" in capsys.readouterr().err
+
+    def test_single_span_trace_attributes(self, tmp_path, capsys):
+        import json
+
+        trace = {"traceEvents": [
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+             "args": {"name": "dev0"}},
+            {"name": "L0.agg", "cat": "kernel", "ph": "X", "ts": 0.0,
+             "dur": 2000.0, "pid": 1, "tid": 1},
+        ]}
+        path = tmp_path / "one.json"
+        path.write_text(json.dumps(trace))
+        assert main(["trace-analyze", str(path)]) == 0
+        text = capsys.readouterr().out
+        assert "1 segments" in text and "kernel" in text
+
+    def test_failed_reconciliation_exits_one(self, sharded_trace, tmp_path,
+                                             capsys):
+        import json
+
+        trace = json.loads(sharded_trace.read_text())
+        trace["otherData"]["expected_total_s"] *= 2.0
+        path = tmp_path / "skewed.json"
+        path.write_text(json.dumps(trace))
+        assert main(["trace-analyze", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "does not reconcile" in err

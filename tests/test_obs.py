@@ -214,6 +214,23 @@ class TestJsonlAndFlame:
     def test_flame_summary_handles_empty_trace(self):
         assert "0 spans" in flame_summary(Tracer())
 
+    def test_flame_summary_aggregates_tail_into_other_row(self):
+        # 5 distinct names, top=2: the 3 dropped names must show up as
+        # one aggregated (other) row instead of silently vanishing
+        tr = Tracer()
+        for i in range(5):
+            tr.span("dev0", f"k{i}", float(i), float(i) + 1e-3, cat="kernel")
+        text = flame_summary(tr, top=2)
+        assert "(other: 3 names)" in text
+        tail = next(line for line in text.splitlines() if "(other" in line)
+        assert "3x" in tail  # 3 spans aggregated
+        assert "60.0%" in tail  # 3 of 5 equal spans
+
+    def test_flame_summary_no_other_row_when_all_fit(self):
+        tr = Tracer()
+        tr.span("dev0", "k0", 0.0, 1e-3, cat="kernel")
+        assert "(other" not in flame_summary(tr, top=12)
+
 
 class TestValidateTrace:
     def test_accepts_well_formed_trace(self):
@@ -255,6 +272,25 @@ class TestValidateTrace:
             tr, meta={"expected_total_s": 2e-3, "reconcile_cats": ["kernel"]}
         )
         assert any("reconciliation failed" in e for e in validate_trace(bad))
+
+    def test_reconciliation_rtol_parameter(self):
+        # a 5% skew: fails the default 1% gate, passes rtol=0.1
+        tr = Tracer()
+        tr.span("dev0", "k", 0.0, 1e-3, cat="kernel")
+        trace = to_perfetto(
+            tr,
+            meta={"expected_total_s": 1.05e-3, "reconcile_cats": ["kernel"]},
+        )
+        assert any("reconciliation failed" in e for e in validate_trace(trace))
+        assert validate_trace(trace, rtol=0.1) == []
+
+    def test_flags_negative_ts(self):
+        trace = to_perfetto(_demo_tracer())
+        trace["traceEvents"].append(
+            {"ph": "X", "pid": 1, "tid": 1, "ts": -5.0, "dur": 1.0,
+             "name": "k"}
+        )
+        assert any("bad ts" in e for e in validate_trace(trace))
 
     def test_unreadable_path_is_an_error_not_a_crash(self, tmp_path):
         errors = validate_trace(tmp_path / "missing.json")

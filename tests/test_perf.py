@@ -438,6 +438,77 @@ class TestPerfDiffCLI:
         assert main(["perf-diff", str(new), str(base), "--all"]) == 0
         assert "a.v" in capsys.readouterr().out
 
+    def _traced_dirs(self, tmp_path, *, halo_factor=1.0):
+        """new/base BENCH dirs with an injected regression + trace pair;
+        the new trace's halo spans run ``halo_factor`` times longer."""
+        from repro.obs import Tracer, write_trace
+
+        new, base = tmp_path / "new", tmp_path / "base"
+        self.write(new, "a", 100.0)
+        self.write(base, "a", 10.0)  # regression beyond tolerance
+        tr = Tracer()
+        tr.span("timeline", "L0.agg", 0.0, 5e-3, cat="layer",
+                slowest_shard=0)
+        tr.span("shard0", "L0.agg/halo", 0.0, 1e-3, cat="halo")
+        tr.span("shard0", "L0.agg", 1e-3, 5e-3, cat="kernel", tasks=4)
+        write_trace(tr, base / "trace.json",
+                    meta={"expected_total_s": 5e-3})
+        slow = Tracer()
+        slow.span("timeline", "L0.agg", 0.0, 4e-3 + halo_factor * 1e-3,
+                  cat="layer", slowest_shard=0)
+        slow.span("shard0", "L0.agg/halo", 0.0, halo_factor * 1e-3,
+                  cat="halo")
+        slow.span("shard0", "L0.agg", halo_factor * 1e-3,
+                  4e-3 + halo_factor * 1e-3, cat="kernel", tasks=4)
+        write_trace(slow, new / "trace.json",
+                    meta={"expected_total_s": 4e-3 + halo_factor * 1e-3})
+        return new, base
+
+    def test_attribute_names_the_regressed_span_group(self, tmp_path,
+                                                      capsys):
+        new, base = self._traced_dirs(tmp_path, halo_factor=3.0)
+        assert main(["perf-diff", str(new), str(base), "--attribute"]) == 1
+        out = capsys.readouterr().out
+        assert "responsible span group" in out
+        assert "halo" in out
+        assert "critical-path attribution" in out
+
+    def test_attribute_without_traces_degrades_gracefully(self, tmp_path,
+                                                          capsys):
+        new, base = tmp_path / "new", tmp_path / "base"
+        self.write(new, "a", 100.0)
+        self.write(base, "a", 10.0)
+        assert main(["perf-diff", str(new), str(base), "--attribute"]) == 1
+        assert "no trace artifact" in capsys.readouterr().out
+
+    def test_attribute_silent_when_within_tolerance(self, tmp_path, capsys):
+        new, base = self._traced_dirs(tmp_path)
+        # overwrite the regression with matching numbers
+        self.write(new, "a", 100.0)
+        self.write(base, "a", 100.0)
+        assert main(["perf-diff", str(new), str(base), "--attribute"]) == 0
+        assert "critical-path" not in capsys.readouterr().out
+
+    def test_attribute_with_all_runs_even_within_tolerance(self, tmp_path,
+                                                           capsys):
+        new, base = self._traced_dirs(tmp_path)
+        self.write(new, "a", 100.0)
+        self.write(base, "a", 100.0)
+        assert main(["perf-diff", str(new), str(base),
+                     "--attribute", "--all"]) == 0
+        assert "critical-path attribution" in capsys.readouterr().out
+
+    def test_attribute_explicit_trace_paths(self, tmp_path, capsys):
+        new, base = self._traced_dirs(tmp_path, halo_factor=3.0)
+        moved_new = tmp_path / "n.json"
+        moved_base = tmp_path / "b.json"
+        (new / "trace.json").rename(moved_new)
+        (base / "trace.json").rename(moved_base)
+        assert main(["perf-diff", str(new), str(base), "--attribute",
+                     "--trace", str(moved_new),
+                     "--baseline-trace", str(moved_base)]) == 1
+        assert "responsible span group" in capsys.readouterr().out
+
 
 def _density_grid(n=257):
     rng = np.random.default_rng(3)

@@ -532,3 +532,75 @@ class TestShardedServingCounters:
         assert payload["max_shard_width"] == report.max_shard_width
         assert payload["halo_bytes"] == report.halo_bytes
         assert "serve.halo_bytes" in payload["metrics"]["counters"]
+
+
+class TestPhaseBreakdown:
+    """Per-request queue/compile/execute/barrier decomposition in the
+    ServingReport (the serving-trace analytics of repro.obs.analyze)."""
+
+    def _mixed_report(self):
+        server = tiny_server(pool_size=4)
+        return server.serve([
+            tiny_request(arrival_s=0.000, shards=2),
+            tiny_request(arrival_s=0.000, shards=2),
+            tiny_request(arrival_s=0.010),            # unsharded
+            tiny_request(arrival_s=0.020, shards=4),
+            tiny_request(arrival_s=0.030),            # unsharded
+        ])
+
+    def test_breakdown_has_all_phases_with_percentiles(self):
+        report = self._mixed_report()
+        assert set(report.phase_breakdown) == {
+            "queue_wait", "compile", "execute", "barrier",
+        }
+        for snap in report.phase_breakdown.values():
+            assert snap["count"] == report.num_requests
+            assert {"p50", "p95", "p99", "mean", "sum"} <= set(snap)
+
+    def test_phases_decompose_latency_per_request(self):
+        report = self._mixed_report()
+        for r in report.responses:
+            assert r.queue_s + r.execute_s + r.barrier_s == pytest.approx(
+                r.latency_s, rel=1e-12
+            )
+
+    def test_barrier_matches_sharded_idle_time(self):
+        from repro.shard.executor import run_sharded
+
+        server = tiny_server(pool_size=2)
+        report = server.serve([tiny_request(arrival_s=0.0, shards=2)])
+        (resp,) = report.responses
+        program = server.cache.peek(
+            tiny_request(shards=2).program_key(server.config)
+        )
+        result = run_sharded(program, 2, book_on_pool=False)
+        expected = result.latency_s - float(np.mean(result.shard_busy_s))
+        assert resp.barrier_s == pytest.approx(max(expected, 0.0), rel=1e-9)
+        assert report.phase_breakdown["barrier"]["sum"] == pytest.approx(
+            resp.barrier_s, rel=1e-9
+        )
+
+    def test_unsharded_requests_have_zero_barrier(self):
+        server = tiny_server()
+        report = server.serve([tiny_request(arrival_s=0.0)])
+        (resp,) = report.responses
+        assert resp.barrier_s == 0.0
+        assert report.phase_breakdown["barrier"]["sum"] == 0.0
+        assert report.phase_breakdown["execute"]["sum"] == pytest.approx(
+            resp.service_s, rel=1e-12
+        )
+
+    def test_breakdown_in_metrics_and_to_dict_and_report(self):
+        report = self._mixed_report()
+        hists = report.metrics["histograms"]
+        for phase in ("queue_wait", "compile", "execute", "barrier"):
+            assert f"serve.phase.{phase}_s" in hists
+        payload = report.to_dict()
+        assert payload["phase_breakdown"] == report.phase_breakdown
+        text = report.format_report()
+        assert "phase queue_wait" in text and "phase barrier" in text
+
+    def test_empty_sweep_has_empty_phases(self):
+        report = tiny_server().serve([])
+        for snap in report.phase_breakdown.values():
+            assert snap["count"] == 0
