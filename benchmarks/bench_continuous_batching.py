@@ -1,0 +1,255 @@
+"""S2 — continuous batching: overload goodput vs the legacy batcher.
+
+Drives one overloaded request stream (~10x a device's service capacity,
+30% tagged interactive) through both serving schedulers and checks the
+headline claims of the ``repro.sched`` subsystem:
+
+1. the continuous scheduler's join-in-flight mechanism lifts goodput
+   (requests meeting their SLO target per second) by >= 2x over the
+   legacy fire-whole-batches loop under overload;
+2. interactive p99 stays within its SLO target while the legacy batcher
+   blows through it (queueing grows unboundedly at 10x load);
+3. ``scheduler="legacy"`` remains bit-exact with the default server
+   path (modulo host-wall-clock compile measurements).
+
+All graded sweeps run against a warm program cache, so every number is
+virtual-clock deterministic.
+
+Runs two ways:
+
+- ``pytest benchmarks/bench_continuous_batching.py`` — pytest-benchmark
+  harness, rendering tables under results/;
+- ``python benchmarks/bench_continuous_batching.py [--smoke]`` —
+  standalone, used by CI's benchmark smoke job via ``repro.perf``.
+"""
+
+import argparse
+import sys
+
+from _common import Metric, emit, format_table, register_bench
+from repro import u250_default
+from repro.sched import AdmissionController, PoolAutoscaler, SLOPolicy
+from repro.serve import InferenceRequest, InferenceServer, synthesize
+
+CFG = u250_default()
+MAX_BATCH = 8
+OVERLOAD_FACTOR = 10.0
+CLASS_SKEW = 0.3
+#: interactive SLO target as a multiple of the warm single-request
+#: service time — generous for continuous (joins bound queueing), hopeless
+#: for legacy (overload queueing is many service times deep)
+TARGET_FACTOR = 3.0
+MIN_GOODPUT_RATIO = 2.0
+
+SMOKE = dict(models=("GCN",), requests=120, pool=2)
+FULL = dict(models=("GCN", "GIN"), requests=320, pool=4)
+
+
+def _server(pool: int, scheduler: str = "legacy", policy=None,
+            admission=None, autoscaler=None) -> InferenceServer:
+    return InferenceServer(
+        CFG,
+        pool_size=pool,
+        max_batch_size=MAX_BATCH,
+        max_wait_s=1e-3,
+        return_outputs=False,
+        scheduler=scheduler,
+        slo_policy=policy,
+        admission=admission,
+        autoscaler=autoscaler,
+    )
+
+
+def sweep(models, requests, pool):
+    """Warm overload sweeps on both schedulers, plus the bit-exact check."""
+    probes = [InferenceRequest(model=m, dataset="CO", seed=17)
+              for m in models]
+    probe_server = _server(1)
+    exec_s = max(
+        r.execute_s for r in probe_server.serve(probes).responses
+    )
+    # ~10x the pool's *batch-amortized* capacity: saturating_rate already
+    # normalises per-request occupancy at full batches, so the legacy
+    # batcher is genuinely overloaded, not just un-batched
+    rate = probe_server.saturating_rate(
+        probes, pool_size=pool, factor=OVERLOAD_FACTOR
+    )
+    policy = SLOPolicy.default(
+        interactive_target_p99_s=TARGET_FACTOR * exec_s,
+        bulk_queue_depth=max(64, requests),
+    )
+    workload = synthesize(
+        requests,
+        arrival="poisson",
+        rate_rps=rate,
+        models=models,
+        datasets=("CO",),
+        seed=17,
+        class_skew=CLASS_SKEW,
+    )
+
+    legacy = _server(pool, policy=policy)
+    legacy.serve(workload)                  # cold: populate the cache
+    legacy_report = legacy.serve(workload)  # warm: graded sweep
+
+    continuous = _server(
+        pool, scheduler="continuous", policy=policy,
+        admission=AdmissionController(policy),
+        autoscaler=PoolAutoscaler(min_devices=1),
+    )
+    continuous.serve(workload)
+    continuous_report = continuous.serve(workload)
+
+    # scheduler="legacy" must be the same code path as the default server
+    explicit = _server(pool, scheduler="legacy", policy=policy)
+    explicit.serve(workload)
+    explicit_report = explicit.serve(workload)
+    bit_exact = _strip_wallclock(explicit_report.to_dict()) == \
+        _strip_wallclock(legacy_report.to_dict())
+
+    return {
+        "exec_s": exec_s,
+        "target_s": TARGET_FACTOR * exec_s,
+        "legacy": legacy_report,
+        "continuous": continuous_report,
+        "bit_exact": bit_exact,
+    }
+
+
+def _strip_wallclock(d: dict) -> dict:
+    d = dict(d)
+    for key in ("compile_saved_s", "compile_s"):
+        d.pop(key, None)
+    metrics = d.get("metrics")
+    if metrics:
+        metrics = {k: dict(v) if isinstance(v, dict) else v
+                   for k, v in metrics.items()}
+        for key in ("serve.compile_s", "serve.compile_saved_s"):
+            metrics.get("counters", {}).pop(key, None)
+        metrics.pop("histograms", None)
+        d["metrics"] = metrics
+    return d
+
+
+def _interactive_p99(report) -> float:
+    return report.class_breakdown["interactive"]["p99_s"]
+
+
+def _table(result) -> str:
+    target_ms = result["target_s"] * 1e3
+    rows = []
+    for name in ("legacy", "continuous"):
+        r = result[name]
+        rows.append([
+            name,
+            f"{r.goodput_rps:,.0f}",
+            f"{r.throughput_rps:,.0f}",
+            f"{r.makespan_s * 1e3:.3f}",
+            f"{_interactive_p99(r) * 1e3:.3f}",
+            f"{r.joined_requests}",
+            f"{r.shed_requests}/{r.deferred_requests}",
+        ])
+    return format_table(
+        ["scheduler", "goodput (req/s)", "throughput", "makespan (ms)",
+         f"inter p99 (ms, target {target_ms:.3f})", "joined",
+         "shed/deferred"],
+        rows,
+        title="S2: continuous batching vs legacy under ~10x overload "
+              "(warm cache, virtual clock)",
+    )
+
+
+@register_bench(
+    "continuous_batching",
+    tier=("smoke", "full"),
+    tags=("serve", "sched", "scaling"),
+    # all graded numbers are virtual-clock deterministic, but the
+    # smoke/full instances differ (models, pool, stream length), so the
+    # bands stay moderate
+    tolerances={"goodput_ratio": 0.3, "interactive_p99_ms": 0.3,
+                "joined_fraction": 0.3},
+)
+def _spec(ctx):
+    """Continuous-batching goodput and interactive p99 under overload."""
+    cfg = SMOKE if ctx.smoke else FULL
+    result = sweep(**cfg)
+    emit("bench_continuous_batching", _table(result))
+    legacy, cont = result["legacy"], result["continuous"]
+    assert result["bit_exact"], (
+        "scheduler='legacy' diverged from the default server path"
+    )
+    ratio = cont.goodput_rps / legacy.goodput_rps
+    assert ratio >= MIN_GOODPUT_RATIO, (
+        f"continuous goodput only {ratio:.2f}x legacy under "
+        f"{OVERLOAD_FACTOR:.0f}x overload (need >= {MIN_GOODPUT_RATIO}x)"
+    )
+    p99 = _interactive_p99(cont)
+    assert p99 <= result["target_s"], (
+        f"continuous interactive p99 {p99 * 1e3:.3f} ms violates the "
+        f"{result['target_s'] * 1e3:.3f} ms SLO target"
+    )
+    return {
+        "goodput_ratio": Metric("goodput_ratio", ratio, "x", "higher"),
+        "interactive_p99_ms": Metric(
+            "interactive_p99_ms", p99 * 1e3, "ms", "lower"
+        ),
+        "joined_fraction": Metric(
+            "joined_fraction",
+            cont.joined_requests / cont.num_requests,
+            "frac",
+            "higher",
+        ),
+        "continuous_goodput_rps": Metric(
+            "continuous_goodput_rps", cont.goodput_rps, "req/s", "higher"
+        ),
+    }
+
+
+def test_continuous_beats_legacy_under_overload(benchmark):
+    """>=2x goodput and interactive p99 within SLO at ~10x overload."""
+    result = benchmark.pedantic(
+        lambda: sweep(**SMOKE), rounds=1, iterations=1
+    )
+    emit("bench_continuous_batching", _table(result))
+    legacy, cont = result["legacy"], result["continuous"]
+    assert result["bit_exact"]
+    assert cont.goodput_rps >= MIN_GOODPUT_RATIO * legacy.goodput_rps
+    assert _interactive_p99(cont) <= result["target_s"]
+    assert cont.joined_requests > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="smoke instance (GCN/CO, 2 devices; the full tier runs a "
+             "GCN+GIN mix on 4 devices)",
+    )
+    args = parser.parse_args(argv)
+    cfg = SMOKE if args.smoke else FULL
+    result = sweep(**cfg)
+    print(_table(result))
+
+    failures = []
+    if not result["bit_exact"]:
+        failures.append("scheduler='legacy' diverged from the default path")
+    legacy, cont = result["legacy"], result["continuous"]
+    ratio = cont.goodput_rps / legacy.goodput_rps
+    if ratio < MIN_GOODPUT_RATIO:
+        failures.append(
+            f"goodput ratio {ratio:.2f}x below {MIN_GOODPUT_RATIO}x"
+        )
+    if _interactive_p99(cont) > result["target_s"]:
+        failures.append("interactive p99 violates the SLO target")
+    if failures:
+        print("\nFAIL: " + "; ".join(failures))
+        return 1
+    print(f"\nOK: goodput {ratio:.2f}x legacy, interactive p99 "
+          f"{_interactive_p99(cont) * 1e3:.3f} ms within "
+          f"{result['target_s'] * 1e3:.3f} ms, "
+          f"{cont.joined_requests}/{cont.num_requests} joined in flight")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,8 +69,15 @@ from repro.serve import (
     MutationRequest,
     ServingReport,
 )
+from repro.sched import (
+    AdmissionController,
+    ContinuousScheduler,
+    PoolAutoscaler,
+    SLOClass,
+    SLOPolicy,
+)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 #: legacy top-level entry points -> (module, attribute, replacement hint).
 #: Accessing them still works but warns once per process: the Engine
@@ -135,6 +142,11 @@ __all__ = [
     "ProgramHandle",
     "backend_names",
     "register_backend",
+    "AdmissionController",
+    "ContinuousScheduler",
+    "PoolAutoscaler",
+    "SLOClass",
+    "SLOPolicy",
     "GraphDelta",
     "MetricsRegistry",
     "Tracer",

@@ -47,7 +47,13 @@ from repro import (
 from repro.datasets import DATASET_NAMES, TABLE_VI
 from repro.gnn import MODEL_NAMES
 from repro.harness import format_table, sci, speedup_fmt
-from repro.serve import ARRIVAL_KINDS, InferenceRequest, InferenceServer, synthesize
+from repro.serve import (
+    ARRIVAL_KINDS,
+    SCHEDULERS,
+    InferenceRequest,
+    InferenceServer,
+    synthesize,
+)
 
 
 def _compile(args, engine: Engine):
@@ -251,11 +257,36 @@ def cmd_serve_bench(args) -> int:
         raise SystemExit("serve-bench: --skew must be >= 0")
     if args.scale is not None and not 0.0 < args.scale <= 1.0:
         raise SystemExit("serve-bench: --scale must be in (0, 1]")
+    if not 0.0 <= args.class_skew <= 1.0:
+        raise SystemExit("serve-bench: --class-skew must be in [0, 1]")
+    if args.slo_p99_ms is not None and args.slo_p99_ms <= 0:
+        raise SystemExit("serve-bench: --slo-p99-ms must be positive")
+    if args.queue_bound is not None and args.queue_bound < 1:
+        raise SystemExit("serve-bench: --queue-bound must be >= 1")
+    if args.scheduler != "continuous" and (
+        args.queue_bound is not None or args.autoscale
+    ):
+        raise SystemExit(
+            "serve-bench: --queue-bound/--autoscale require "
+            "--scheduler continuous"
+        )
     try:
         make_strategy(args.strategy, config)
     except (ValueError, KeyError) as exc:
         raise SystemExit(f"serve-bench: invalid --strategy: {exc}")
     max_wait_s = args.max_wait_ms * 1e-3
+
+    slo_policy = None
+    if args.scheduler == "continuous" or args.slo_p99_ms is not None:
+        from repro.sched import SLOPolicy
+
+        slo_policy = SLOPolicy.default(
+            interactive_target_p99_s=(
+                None if args.slo_p99_ms is None else args.slo_p99_ms * 1e-3
+            ),
+            interactive_queue_depth=args.queue_bound,
+            bulk_queue_depth=args.queue_bound,
+        )
 
     tracer = None
     if args.trace:
@@ -269,11 +300,23 @@ def cmd_serve_bench(args) -> int:
         engine = Engine(config, pool_size=pool_size,
                         cache_capacity=args.cache,
                         tracer=tracer if traced else None)
+        admission = autoscaler = None
+        if args.scheduler == "continuous":
+            from repro.sched import AdmissionController, PoolAutoscaler
+
+            if args.queue_bound is not None:
+                admission = AdmissionController(slo_policy)
+            if args.autoscale:
+                autoscaler = PoolAutoscaler(min_devices=1)
         return InferenceServer(
             engine=engine,
             max_batch_size=args.max_batch,
             max_wait_s=max_wait_s,
             return_outputs=False,
+            scheduler=args.scheduler,
+            slo_policy=slo_policy,
+            admission=admission,
+            autoscaler=autoscaler,
         )
 
     rate = args.rate
@@ -308,6 +351,7 @@ def cmd_serve_bench(args) -> int:
         scale=args.scale,
         skew=args.skew,
         seed=args.seed,
+        class_skew=args.class_skew,
     )
 
     quiet = args.json
@@ -369,6 +413,12 @@ def cmd_serve_bench(args) -> int:
           f"compile time saved {warm.compile_saved_s * 1e3:.1f} ms")
     print(f"  warm vs cold p50   : {cold.latency_p50_s * 1e3:.3f} ms -> "
           f"{warm.latency_p50_s * 1e3:.3f} ms")
+    if args.scheduler == "continuous":
+        print(f"  goodput (warm)     : {warm.goodput_rps:,.0f} req/s of "
+              f"{warm.throughput_rps:,.0f} req/s throughput")
+        print(f"  continuous batching: {warm.joined_requests} joined, "
+              f"{warm.shed_requests} shed, {warm.deferred_requests} "
+              f"deferred, {warm.preemptions} preemptions")
     return 0
 
 
@@ -851,6 +901,22 @@ def main(argv=None) -> int:
     p_srv.add_argument("--cache", type=int, default=64,
                        help="program-cache capacity")
     p_srv.add_argument("--seed", type=int, default=0)
+    p_srv.add_argument("--scheduler", choices=SCHEDULERS, default="legacy",
+                       help="batching scheduler: the fire-whole-batches "
+                            "micro-batcher or the continuous-batching "
+                            "scheduler (repro.sched)")
+    p_srv.add_argument("--class-skew", type=float, default=0.0,
+                       help="fraction of requests tagged with the "
+                            "interactive SLO class (rest are bulk)")
+    p_srv.add_argument("--slo-p99-ms", type=float, default=None,
+                       help="interactive p99 latency target in virtual ms "
+                            "(grades goodput and per-class violations)")
+    p_srv.add_argument("--queue-bound", type=int, default=None,
+                       help="per-class admission bound (continuous only): "
+                            "interactive sheds past it, bulk defers")
+    p_srv.add_argument("--autoscale", action="store_true",
+                       help="autoscale the active device set with the "
+                            "queue-depth autoscaler (continuous only)")
     p_srv.add_argument("--trace", default=None, metavar="PATH",
                        help="write a Perfetto trace of the cold pool "
                             "sweep to PATH")

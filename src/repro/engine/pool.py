@@ -58,24 +58,57 @@ class AcceleratorPool:
         self.busy = np.zeros(num_devices, dtype=np.float64)
         self.events: list[DispatchEvent] = []
         self.tracer = NULL_TRACER
+        #: devices [0, num_active) accept new earliest-idle bookings; the
+        #: rest are parked (repro.sched's autoscaler shrinks/grows this)
+        self._num_active = num_devices
 
     @property
     def num_devices(self) -> int:
         return len(self.devices)
 
+    @property
+    def num_active(self) -> int:
+        """Devices currently accepting new earliest-idle bookings."""
+        return self._num_active
+
+    def set_active(
+        self, n: int, *, now: float = 0.0, provision_delay_s: float = 0.0
+    ) -> None:
+        """Resize the active set to the first ``n`` devices.
+
+        Growing models provisioning: a newly activated device only
+        becomes available ``provision_delay_s`` after ``now`` (cold
+        start / reconfiguration on the virtual clock).  Shrinking parks
+        devices for *new* work only — in-flight bookings on a parked
+        device run to completion (drain semantics), and
+        :meth:`submit_on` can still target it explicitly.
+        """
+        if not 1 <= n <= self.num_devices:
+            raise ValueError(
+                f"active set must be within [1, {self.num_devices}], got {n}"
+            )
+        if provision_delay_s < 0:
+            raise ValueError("provision_delay_s must be >= 0")
+        for d in range(self._num_active, n):
+            self.available[d] = max(
+                float(self.available[d]), now + provision_delay_s
+            )
+        self._num_active = n
+
     def peek_device(self, ready_s: float) -> int:
-        """Device that can start a batch ready at ``ready_s`` first.
+        """Active device that can start a batch ready at ``ready_s`` first.
 
         All devices are identical, so the earliest start time wins; ties
         break toward the earliest-idle (then lowest-numbered) device,
         matching the idle-interrupt order of the core scheduler.
         """
-        starts = np.maximum(self.available, ready_s)
+        active = self.available[: self._num_active]
+        starts = np.maximum(active, ready_s)
         best = int(np.argmin(starts))
         # prefer the device that has been idle longest among equal starts
         candidates = np.flatnonzero(starts == starts[best])
         if candidates.size > 1:
-            best = int(candidates[np.argmin(self.available[candidates])])
+            best = int(candidates[np.argmin(active[candidates])])
         return best
 
     def submit(
@@ -109,6 +142,52 @@ class AcceleratorPool:
             )
         return device, start, end
 
+    def submit_on(
+        self,
+        device: int,
+        service_s: float,
+        ready_s: float,
+        *,
+        busy_s: float | None = None,
+        batch_id: int = -1,
+        batch_size: int = 1,
+        label: str = "",
+    ) -> tuple[float, float]:
+        """Book ``service_s`` seconds on a *specific* device.
+
+        The directed analogue of :meth:`submit`, used by the continuous
+        scheduler (:mod:`repro.sched`) to keep an execution's per-layer
+        segments sticky on one device.  The device may be outside the
+        active set (a parked device draining its in-flight execution).
+        ``busy_s`` optionally overrides the busy charge (a sharded
+        member held to a barrier is occupied, not working, for part of
+        the booking).  Returns ``(start, end)``.
+        """
+        if service_s < 0:
+            raise ValueError("service_s must be non-negative")
+        if not 0 <= device < self.num_devices:
+            raise ValueError(
+                f"device must be within [0, {self.num_devices}), got {device}"
+            )
+        start = float(max(self.available[device], ready_s))
+        end = start + service_s
+        self.available[device] = end
+        self.busy[device] += service_s if busy_s is None else float(busy_s)
+        self.events.append(
+            DispatchEvent(device, start, end, batch_id, batch_size)
+        )
+        if self.tracer.enabled:
+            self.tracer.span(
+                f"pool/dev{device}",
+                label or f"batch{batch_id}",
+                start,
+                end,
+                cat="dispatch",
+                batch_size=batch_size,
+                queued_s=start - ready_s,
+            )
+        return start, end
+
     def submit_group(
         self,
         service_s: float,
@@ -132,14 +211,14 @@ class AcceleratorPool:
         """
         if service_s < 0:
             raise ValueError("service_s must be non-negative")
-        if not 1 <= num_devices <= self.num_devices:
+        if not 1 <= num_devices <= self._num_active:
             raise ValueError(
                 f"group needs {num_devices} device(s), pool has "
-                f"{self.num_devices}"
+                f"{self._num_active} active of {self.num_devices}"
             )
         if busy_s is not None and len(busy_s) != num_devices:
             raise ValueError("busy_s must have one entry per group device")
-        starts = np.maximum(self.available, ready_s)
+        starts = np.maximum(self.available[: self._num_active], ready_s)
         order = np.argsort(starts, kind="stable")
         chosen = sorted(int(d) for d in order[:num_devices])
         start = float(starts[chosen].max())
@@ -186,9 +265,15 @@ class AcceleratorPool:
         return min(float(self.busy.mean()) / mx, 1.0)
 
     def reset(self) -> None:
-        """Clear the virtual clock, statistics and device hardware state."""
+        """Clear the virtual clock, statistics and device hardware state.
+
+        Also re-activates every device: autoscaler shrinkage is per-sweep
+        state, and a legacy sweep after a continuous one must see the
+        whole pool.
+        """
         self.available[:] = 0.0
         self.busy[:] = 0.0
         self.events.clear()
+        self._num_active = self.num_devices
         for dev in self.devices:
             dev.reset()

@@ -1,0 +1,46 @@
+"""Continuous-batching scheduler with SLO tiers (`repro.sched`).
+
+Replaces the fire-whole-batches loop of
+:class:`~repro.serve.server.InferenceServer` with an event-driven
+scheduler on the same virtual clock:
+
+- :mod:`repro.sched.slo` — SLO classes (interactive / bulk) with
+  per-class priority, batching window and latency target;
+- :mod:`repro.sched.admission` — queue-depth-bounded admission control
+  (admit / defer / shed);
+- :mod:`repro.sched.autoscaler` — queue-depth/utilization pool
+  autoscaling with hysteresis;
+- :mod:`repro.sched.scheduler` — the event loop: continuous batching
+  with join-in-flight at layer boundaries and priority preemption.
+
+Enable it per server::
+
+    from repro.serve import InferenceServer
+    from repro.sched import SLOPolicy, PoolAutoscaler
+
+    server = InferenceServer(
+        pool_size=4,
+        scheduler="continuous",
+        slo_policy=SLOPolicy.default(interactive_target_p99_s=5e-3),
+        autoscaler=PoolAutoscaler(min_devices=1),
+    )
+
+``scheduler="legacy"`` (the default) leaves the original batcher path
+untouched — bit-exact with servers built before this subsystem existed.
+"""
+
+from repro.sched.admission import AdmissionController, AdmissionDecision
+from repro.sched.autoscaler import PoolAutoscaler, ScaleEvent
+from repro.sched.scheduler import ContinuousScheduler
+from repro.sched.slo import SLO_CLASSES, SLOClass, SLOPolicy
+
+__all__ = [
+    "SLO_CLASSES",
+    "AdmissionController",
+    "AdmissionDecision",
+    "ContinuousScheduler",
+    "PoolAutoscaler",
+    "SLOClass",
+    "SLOPolicy",
+    "ScaleEvent",
+]

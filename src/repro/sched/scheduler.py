@@ -1,0 +1,815 @@
+"""The continuous-batching event loop.
+
+Replaces the legacy two-phase serve loop (collect whole micro-batches,
+then book them) with a discrete-event scheduler on the same virtual
+clock.  Four ideas, in dependency order:
+
+**Per-layer segments.**  Every distinct (program, strategy, shards)
+execution decomposes into an input-PCIe segment plus one segment per
+kernel layer (unsharded: kernel cycles + exposed analysis; sharded: the
+per-layer barrier intervals ``ShardedRuntime`` exposes).  The scheduler
+books an execution segment-by-segment
+(:meth:`~repro.engine.pool.AcceleratorPool.submit_on`), which turns
+layer boundaries into scheduling points.
+
+**Join-in-flight.**  Requests sharing a ``batch_key`` are bit-identical
+runs, so a request arriving while a compatible execution is in flight
+*joins* it at the next layer boundary and shares its result — zero added
+service time.  This is what keeps goodput up under overload: the legacy
+batcher caps sharing at ``max_batch_size`` per batch and re-executes
+every subsequent batch, while the continuous scheduler lets the backlog
+ride one booking.  (The founding group still respects
+``max_batch_size``; joins are free riders on an already-paid booking.)
+
+**Priority + preemption.**  Closed groups dispatch in SLO-priority
+order, and a strictly-higher-priority group may preempt an unsharded
+execution at a layer boundary: the running execution pauses (its
+remaining segments stay with its device), the interactive batch runs,
+and the paused work resumes when the device frees.  Sharded executions
+are barrier-locked groups and are never preempted (they are still
+joinable).
+
+**Admission + autoscaling.**  Every arrival passes the
+:class:`~repro.sched.admission.AdmissionController` (shed/defer past
+per-class queue bounds); every arrival/completion lets the
+:class:`~repro.sched.autoscaler.PoolAutoscaler` resize the pool's
+active set with hysteresis.
+
+Accounting invariants preserved from the legacy path: for every
+response, ``latency_s = queue_s + execute_s + barrier_s``; a joiner's
+``start_s`` is its join boundary (queue time ends when its execution
+window begins) with ``barrier_s = 0``.  An un-preempted, un-joined sweep
+books exactly the same device seconds as the legacy path.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+from repro.hw.memory import pcie_transfer_seconds
+from repro.sched.admission import AdmissionController
+from repro.sched.autoscaler import PoolAutoscaler
+from repro.sched.slo import SLOClass, SLOPolicy
+from repro.serve.batcher import MicroBatch
+from repro.serve.request import (
+    InferenceRequest,
+    InferenceResponse,
+    MutationRequest,
+)
+
+__all__ = ["ContinuousScheduler"]
+
+
+@dataclass
+class _Member:
+    """One request riding an execution."""
+
+    req: InferenceRequest
+    #: when the request's execution window began: the execution start
+    #: for founders, the join boundary for joiners (None until a join
+    #: into a paused execution resolves at resume)
+    attach_s: float | None
+    joined: bool = False
+    deferred: bool = False
+
+
+@dataclass
+class _Group:
+    """A forming micro-batch plus its SLO class and window deadline."""
+
+    batch: MicroBatch
+    slo: SLOClass
+    deadline: float
+    #: dispatch-order tiebreak within equal priority (open order)
+    order: int = 0
+    deferred_ids: set = field(default_factory=set)
+
+
+class _Execution:
+    """One booked execution: segments, devices, members, join state."""
+
+    __slots__ = (
+        "exec_id", "key", "memo", "members", "pending_joins", "segments",
+        "seg_idx", "seg_end_s", "devices", "start_s", "finish_s",
+        "priority", "paused", "atomic", "boundaries", "preemptions",
+    )
+
+    def __init__(self, exec_id, key, memo, segments, priority):
+        self.exec_id = exec_id
+        self.key = key
+        self.memo = memo
+        self.members: list[_Member] = []
+        self.pending_joins: list[_Member] = []
+        #: segment 0 is the input-PCIe transfer, then one per layer
+        self.segments: list[float] = segments
+        self.seg_idx = 0
+        self.seg_end_s = 0.0
+        self.devices: list[int] = []
+        self.start_s = 0.0
+        self.finish_s: float | None = None
+        self.priority = priority
+        self.paused = False
+        #: sharded executions book atomically (barrier-locked group):
+        #: joinable via precomputed boundaries, never preempted
+        self.atomic = False
+        self.boundaries: list[float] = []
+        self.preemptions = 0
+
+    def joinable(self, now: float) -> bool:
+        """Is there still a layer boundary this execution can admit at?
+
+        The last admission point is the start of the final segment —
+        joining *at* the finish would be result-sharing without ever
+        being part of the execution.
+        """
+        if self.finish_s is not None:
+            return False
+        if self.atomic:
+            return bool(self.boundaries) and now <= self.boundaries[-1]
+        if self.paused:
+            # the resume instant is a boundary; attach resolves then
+            return True
+        return self.seg_idx < len(self.segments) - 1
+
+    def attach_time(self, now: float) -> float | None:
+        """Join boundary for an arrival at ``now`` (None = at resume)."""
+        if self.atomic:
+            return self.boundaries[bisect_left(self.boundaries, now)]
+        if self.paused:
+            return None
+        return self.seg_end_s
+
+
+class ContinuousScheduler:
+    """Event-driven continuous batching over one ``InferenceServer``.
+
+    One instance runs one sweep; the server constructs it per
+    :meth:`~repro.serve.server.InferenceServer.serve` call so all state
+    here is sweep-local (the admission controller and autoscaler may be
+    caller-owned and are reset at the start of :meth:`run`).
+    """
+
+    def __init__(
+        self,
+        server,
+        *,
+        policy: SLOPolicy | None = None,
+        admission: AdmissionController | None = None,
+        autoscaler: PoolAutoscaler | None = None,
+        preempt: bool = True,
+    ) -> None:
+        self.server = server
+        self.policy = policy if policy is not None else SLOPolicy.default()
+        self.admission = (
+            admission
+            if admission is not None
+            else AdmissionController(self.policy)
+        )
+        self.autoscaler = autoscaler
+        self.preempt = preempt
+
+    # -- queue state ----------------------------------------------------
+    def _waiting(self) -> int:
+        """Requests in open or closed-but-undispatched groups."""
+        return sum(g.batch.size for g in self._groups.values()) + sum(
+            g.batch.size for g in self._ready
+        ) + sum(g.batch.size for g in self._unready)
+
+    def _queue_depth(self) -> int:
+        """The admission-facing backlog: waiting + parked (deferred)."""
+        return self._waiting() + len(self._deferred)
+
+    def _busy_devices(self) -> int:
+        """Active devices owning a running or paused execution."""
+        return sum(
+            1
+            for d in range(self.server.pool.num_active)
+            if self._assignment[d] is not None or self._paused_stack[d]
+        )
+
+    def _idle_active(self) -> list[int]:
+        return [
+            d
+            for d in range(self.server.pool.num_active)
+            if self._assignment[d] is None and not self._paused_stack[d]
+        ]
+
+    # -- the event loop -------------------------------------------------
+    def run(self, requests: list):
+        """Serve the stream to completion; returns a ``ServingReport``."""
+        server = self.server
+        pool = server.pool
+        tracer = server.tracer
+        hits0, misses0 = server.cache.hits, server.cache.misses
+        compile0, saved0 = server.cache.compile_s, server.cache.saved_s
+        pool.reset()
+        self.admission.reset()
+        if self.autoscaler is not None:
+            self.autoscaler.reset()
+            initial = min(self.autoscaler.min_devices, pool.num_devices)
+            pool.set_active(initial, now=0.0)
+
+        self._groups: dict[tuple, _Group] = {}
+        self._ready: list[_Group] = []
+        self._unready: list[_Group] = []
+        self._inflight: dict[tuple, _Execution] = {}
+        self._assignment: list = [None] * pool.num_devices
+        self._paused_stack: list[list] = [[] for _ in range(pool.num_devices)]
+        self._deferred: list[tuple[InferenceRequest, str | None]] = []
+        self._executions: list[_Execution] = []
+        self._responses: list[InferenceResponse] = []
+        self._programs: dict[tuple, object] = {}
+        self._compile_charges: dict[int, float] = {}
+        self._hit_flags: dict[int, bool] = {}
+        self._program_ready: dict[tuple, float] = {}
+        self._host = {"free": 0.0}
+        self._mutation_counters = {
+            "mutations": 0, "patches": 0, "fallbacks": 0,
+            "patch_s": 0.0, "evictions": 0,
+        }
+        self._shard_counters = {
+            "batches": 0, "requests": 0, "width": 0,
+            "halo_bytes": 0, "halo_s": 0.0,
+        }
+        self._shed: list[dict] = []
+        self._joined = 0
+        self._deferred_total = 0
+        self._preemptions = 0
+        self._max_depth = 0
+        self._order = itertools.count()
+        self._ready_hint = 0.0
+
+        events = sorted(
+            requests,
+            key=lambda r: (r.arrival_s, isinstance(r, InferenceRequest)),
+        )
+        heap: list[tuple] = []
+        seq = itertools.count()
+        for ev in events:
+            heapq.heappush(heap, (ev.arrival_s, next(seq), "arrival", ev))
+        self._heap, self._seq = heap, seq
+        arrivals_left = len(events)
+
+        while heap:
+            t, _, kind, payload = heapq.heappop(heap)
+            if kind == "arrival":
+                arrivals_left -= 1
+                if isinstance(payload, MutationRequest):
+                    server._apply_mutation(
+                        payload, t, self._program_ready, self._host,
+                        self._mutation_counters,
+                    )
+                else:
+                    req, graph_id = server._resolve(payload)
+                    self._validate(req)
+                    self._admit(req, graph_id, t, deferred=False)
+                self._max_depth = max(self._max_depth, self._queue_depth())
+                if tracer.enabled:
+                    tracer.counter(
+                        "sched", "queue_depth", t, self._queue_depth()
+                    )
+                self._autoscale(t)
+                self._schedule(t)
+                if arrivals_left == 0:
+                    self._end_of_stream(t)
+            elif kind == "window":
+                gkey, deadline, group = payload
+                if self._groups.get(gkey) is group and (
+                    group.deadline == deadline
+                ):
+                    self._close_group(gkey, deadline)
+                    self._schedule(t)
+            elif kind == "gready":
+                group = payload
+                self._unready.remove(group)
+                self._ready.append(group)
+                self._schedule(t)
+            elif kind == "seg":
+                self._on_segment_end(payload, t)
+            elif kind == "done":
+                self._finish(payload, t)
+
+        return self._build_report(
+            hits0, misses0, compile0, saved0,
+        )
+
+    # -- admission ------------------------------------------------------
+    def _validate(self, req: InferenceRequest) -> None:
+        pool = self.server.pool
+        if req.shards < 1:
+            raise ValueError(
+                f"request {req.request_id} asks for {req.shards} shards"
+            )
+        if req.shards > pool.num_devices:
+            raise ValueError(
+                f"request {req.request_id} asks for {req.shards} shards "
+                f"but the pool has {pool.num_devices} device(s)"
+            )
+
+    def _class_of(self, req: InferenceRequest) -> SLOClass:
+        try:
+            return self.policy.get(req.slo)
+        except KeyError as exc:
+            raise ValueError(
+                f"request {req.request_id} carries SLO class {req.slo!r} "
+                f"but the policy defines {self.policy.names}"
+            ) from exc
+
+    def _admit(
+        self,
+        req: InferenceRequest,
+        graph_id: str | None,
+        now: float,
+        *,
+        deferred: bool,
+    ) -> None:
+        server = self.server
+        tracer = server.tracer
+        cls = self._class_of(req)
+        pkey = req.batch_key(server.config)
+
+        # join-in-flight first: a join consumes no capacity, so it is
+        # exempt from admission bounds — shedding a joinable request
+        # would refuse work that is already paid for
+        exec_ = self._inflight.get(pkey)
+        if exec_ is not None and exec_.joinable(now):
+            self._bookkeep_compile(req, graph_id, pkey, now)
+            member = _Member(
+                req, exec_.attach_time(now), joined=True, deferred=deferred
+            )
+            exec_.members.append(member)
+            if member.attach_s is None:
+                exec_.pending_joins.append(member)
+            self._joined += 1
+            if tracer.enabled:
+                tracer.instant(
+                    "sched", f"req{req.request_id}/join", now,
+                    cat="join", exec_id=exec_.exec_id, slo=req.slo,
+                )
+            return
+
+        if not deferred:
+            decision = self.admission.decide(cls, self._queue_depth())
+            if decision.action == "shed":
+                self._shed.append(
+                    {
+                        "request_id": req.request_id,
+                        "slo": req.slo,
+                        "t_s": now,
+                        "reason": decision.reason,
+                    }
+                )
+                if tracer.enabled:
+                    tracer.instant(
+                        "sched", f"req{req.request_id}/shed", now,
+                        cat="shed", slo=req.slo, reason=decision.reason,
+                    )
+                return
+            if decision.action == "defer":
+                self._deferred.append((req, graph_id))
+                self._deferred_total += 1
+                if tracer.enabled:
+                    tracer.instant(
+                        "sched", f"req{req.request_id}/defer", now,
+                        cat="defer", slo=req.slo, reason=decision.reason,
+                    )
+                return
+
+        self._bookkeep_compile(req, graph_id, pkey, now)
+        self._group_add(req, cls, pkey, now, deferred=deferred)
+
+    def _bookkeep_compile(
+        self,
+        req: InferenceRequest,
+        graph_id: str | None,
+        pkey: tuple,
+        now: float,
+    ) -> None:
+        """Program-cache lookup + host-clock compile charge (as legacy)."""
+        server = self.server
+        tracer = server.tracer
+        prog_key = req.program_key(server.config)
+        program, compile_s, hit = server.cache.get_or_compile(
+            prog_key, lambda: server._compile(req)
+        )
+        if tracer.enabled:
+            tracer.instant(
+                "serve", f"req{req.request_id}/enqueue", now,
+                cat="enqueue", model=str(req.model),
+                cache="hit" if hit else "miss", shards=req.shards,
+            )
+        if not hit:
+            compile_start = max(now, self._host["free"])
+            self._host["free"] = compile_start + compile_s
+            self._program_ready[prog_key] = self._host["free"]
+            if tracer.enabled:
+                tracer.span(
+                    "host/compile",
+                    f"compile {req.model}/{req.dataset_name}",
+                    compile_start, self._host["free"], cat="compile",
+                )
+        if graph_id is not None:
+            server._graph_keys[graph_id][prog_key] = (
+                server._graphs[graph_id].version
+            )
+        self._programs[pkey] = program
+        self._compile_charges[req.request_id] = compile_s
+        self._hit_flags[req.request_id] = hit
+        self._ready_hint = max(
+            now, self._program_ready.get(prog_key, now)
+        )
+
+    def _group_add(
+        self,
+        req: InferenceRequest,
+        cls: SLOClass,
+        pkey: tuple,
+        now: float,
+        *,
+        deferred: bool,
+    ) -> None:
+        gkey = (pkey, cls.name)
+        group = self._groups.get(gkey)
+        if group is None:
+            wait = (
+                cls.max_wait_s
+                if cls.max_wait_s is not None
+                else self.server.max_wait_s
+            )
+            batch = MicroBatch(
+                key=pkey, requests=[], opened_s=now, ready_s=now
+            )
+            group = _Group(
+                batch, cls, deadline=now + wait, order=next(self._order)
+            )
+            self._groups[gkey] = group
+            heapq.heappush(
+                self._heap,
+                (
+                    group.deadline, next(self._seq), "window",
+                    (gkey, group.deadline, group),
+                ),
+            )
+        group.batch.requests.append(req)
+        group.batch.ready_s = max(group.batch.ready_s, self._ready_hint)
+        if deferred:
+            group.deferred_ids.add(req.request_id)
+        if group.batch.size >= self.server.max_batch_size:
+            self._close_group(gkey, now)
+
+    def _close_group(self, gkey: tuple, now: float) -> None:
+        group = self._groups.pop(gkey)
+        tracer = self.server.tracer
+        if tracer.enabled:
+            tracer.span(
+                "sched", f"batch{group.batch.batch_id}/form",
+                group.batch.opened_s, now, cat="batch",
+                size=group.batch.size, slo=group.slo.name,
+            )
+        if group.batch.ready_s <= now:
+            self._ready.append(group)
+        else:
+            # compile still running: becomes schedulable at ready_s
+            self._unready.append(group)
+            heapq.heappush(
+                self._heap,
+                (group.batch.ready_s, next(self._seq), "gready", group),
+            )
+
+    # -- dispatch -------------------------------------------------------
+    def _schedule(self, t: float) -> None:
+        """Start as many ready groups as idle active devices allow.
+
+        Priority order with backfill: a sharded group that cannot get
+        its full device set does not block a narrower group behind it.
+        """
+        while self._ready:
+            idle = self._idle_active()
+            if not idle:
+                return
+            best = None
+            best_key = None
+            for i, g in enumerate(self._ready):
+                if g.batch.requests[0].shards > len(idle):
+                    continue
+                k = (-g.slo.priority, g.order)
+                if best_key is None or k < best_key:
+                    best, best_key = i, k
+            if best is None:
+                return
+            group = self._ready.pop(best)
+            self._start_execution(group, t, idle)
+
+    def _segments_of(self, memo, input_s: float) -> list[float]:
+        segs = [input_s] + [float(s) for s in memo.segments_s]
+        return segs
+
+    def _start_execution(
+        self, group: _Group, t: float, idle: list[int]
+    ) -> None:
+        server = self.server
+        pool = server.pool
+        tracer = server.tracer
+        batch = group.batch
+        first = batch.requests[0]
+        ready_s = max(batch.ready_s, t)
+        memo = server._execute(
+            batch.key, self._programs[batch.key], first.strategy,
+            ready_s, first.shards,
+        )
+        program = self._programs[batch.key]
+        input_s = pcie_transfer_seconds(program.input_bytes(), server.config)
+        exec_ = _Execution(
+            exec_id=batch.batch_id,
+            key=batch.key,
+            memo=memo,
+            segments=self._segments_of(memo, input_s),
+            priority=group.slo.priority,
+        )
+        exec_.members = [
+            _Member(
+                r, None, joined=False,
+                deferred=r.request_id in group.deferred_ids,
+            )
+            for r in batch.requests
+        ]
+        if memo.shards > 1:
+            # barrier-locked group: one atomic booking per member device,
+            # all held from the common start to the last barrier (same
+            # busy accounting as the legacy submit_group path)
+            chosen = sorted(
+                sorted(idle, key=lambda d: (pool.available[d], d))[
+                    : memo.shards
+                ]
+            )
+            start = max(
+                ready_s, max(float(pool.available[d]) for d in chosen)
+            )
+            service_s = input_s + memo.latency_s
+            for i, d in enumerate(chosen):
+                pool.submit_on(
+                    d, service_s, start,
+                    busy_s=memo.shard_busy_s[i] + input_s / memo.shards,
+                    batch_id=exec_.exec_id, batch_size=batch.size,
+                    label=f"batch{exec_.exec_id}/shard{i}",
+                )
+                self._assignment[d] = exec_
+            exec_.atomic = True
+            exec_.devices = chosen
+            exec_.start_s = start
+            # admission points: every segment start; the last one (start
+            # of the final barrier interval) is the last join point
+            exec_.boundaries = []
+            cursor = start
+            for seg in exec_.segments:
+                exec_.boundaries.append(cursor)
+                cursor += seg
+            heapq.heappush(
+                self._heap,
+                (start + service_s, next(self._seq), "done", exec_),
+            )
+            sc = self._shard_counters
+            sc["batches"] += 1
+            sc["requests"] += batch.size
+            sc["width"] = max(sc["width"], memo.shards)
+            sc["halo_bytes"] += memo.halo_bytes
+            sc["halo_s"] += memo.halo_s
+        else:
+            dev = min(idle, key=lambda d: (pool.available[d], d))
+            start, end = pool.submit_on(
+                dev, exec_.segments[0], ready_s,
+                batch_id=exec_.exec_id, batch_size=batch.size,
+                label=f"batch{exec_.exec_id}/seg0",
+            )
+            self._assignment[dev] = exec_
+            exec_.devices = [dev]
+            exec_.start_s = start
+            exec_.seg_end_s = end
+            heapq.heappush(
+                self._heap, (end, next(self._seq), "seg", exec_)
+            )
+        self._inflight[batch.key] = exec_
+        self._executions.append(exec_)
+        if tracer.enabled:
+            tracer.instant(
+                "sched", f"exec{exec_.exec_id}/start", exec_.start_s,
+                cat="dispatch", size=batch.size, slo=group.slo.name,
+                shards=memo.shards, devices=str(exec_.devices),
+            )
+
+    # -- layer boundaries ------------------------------------------------
+    def _on_segment_end(self, exec_: _Execution, t: float) -> None:
+        if exec_.paused:
+            return  # stale event from before a pause
+        exec_.seg_idx += 1
+        if exec_.seg_idx >= len(exec_.segments):
+            self._finish(exec_, t)
+            return
+        dev = exec_.devices[0]
+        if self.preempt and self._try_preempt(exec_, dev, t):
+            return
+        self._book_next_segment(exec_, dev, t)
+
+    def _book_next_segment(
+        self, exec_: _Execution, dev: int, t: float
+    ) -> None:
+        pool = self.server.pool
+        seg = exec_.segments[exec_.seg_idx]
+        start, end = pool.submit_on(
+            dev, seg, t,
+            batch_id=exec_.exec_id, batch_size=len(exec_.members),
+            label=f"batch{exec_.exec_id}/seg{exec_.seg_idx}",
+        )
+        exec_.seg_end_s = end
+        for member in exec_.pending_joins:
+            member.attach_s = start
+        exec_.pending_joins.clear()
+        heapq.heappush(self._heap, (end, next(self._seq), "seg", exec_))
+
+    def _try_preempt(self, exec_: _Execution, dev: int, t: float) -> bool:
+        """Pause ``exec_`` for a strictly-higher-priority ready group."""
+        best = None
+        best_key = None
+        for i, g in enumerate(self._ready):
+            if g.slo.priority <= exec_.priority:
+                continue
+            if g.batch.requests[0].shards > 1:
+                continue  # sharded groups wait for a full idle set
+            k = (-g.slo.priority, g.order)
+            if best_key is None or k < best_key:
+                best, best_key = i, k
+        if best is None:
+            return False
+        group = self._ready.pop(best)
+        exec_.paused = True
+        exec_.preemptions += 1
+        self._preemptions += 1
+        self._paused_stack[dev].append(exec_)
+        self._assignment[dev] = None
+        tracer = self.server.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "sched", f"exec{exec_.exec_id}/preempted", t,
+                cat="preempt", by=group.batch.batch_id, device=dev,
+            )
+        self._start_execution(group, t, [dev])
+        return True
+
+    # -- completion -----------------------------------------------------
+    def _finish(self, exec_: _Execution, t: float) -> None:
+        server = self.server
+        tracer = server.tracer
+        exec_.finish_s = t
+        if self._inflight.get(exec_.key) is exec_:
+            del self._inflight[exec_.key]
+        size = len(exec_.members)
+        for m in exec_.members:
+            req = m.req
+            start = exec_.start_s if not m.joined else m.attach_s
+            self._responses.append(
+                InferenceResponse(
+                    request_id=req.request_id,
+                    model=req.model,
+                    dataset=req.dataset_name,
+                    strategy=req.strategy,
+                    arrival_s=req.arrival_s,
+                    compile_s=self._compile_charges.get(req.request_id, 0.0),
+                    start_s=start,
+                    finish_s=t,
+                    service_s=t - start,
+                    cache_hit=self._hit_flags[req.request_id],
+                    batch_id=exec_.exec_id,
+                    batch_size=size,
+                    device=exec_.devices[0],
+                    shards=exec_.memo.shards,
+                    barrier_s=exec_.memo.barrier_s if not m.joined else 0.0,
+                    accel_cycles=exec_.memo.accel_cycles,
+                    output=(
+                        exec_.memo.output if server.return_outputs else None
+                    ),
+                    slo=req.slo,
+                    joined=m.joined,
+                    deferred=m.deferred,
+                )
+            )
+            if tracer.enabled and start > req.arrival_s:
+                tracer.span(
+                    f"sched/{req.slo}", f"req{req.request_id}/queue-wait",
+                    req.arrival_s, start, cat="queue",
+                    joined=m.joined, deferred=m.deferred,
+                )
+        if tracer.enabled:
+            tracer.span(
+                "sched", f"exec{exec_.exec_id}", exec_.start_s, t,
+                cat="exec", size=size, shards=exec_.memo.shards,
+                preemptions=exec_.preemptions,
+            )
+        for dev in exec_.devices:
+            self._assignment[dev] = None
+            if self._paused_stack[dev]:
+                # LIFO resume keeps forward progress for preempted work;
+                # an interactive group can re-preempt at the next boundary
+                resumed = self._paused_stack[dev].pop()
+                resumed.paused = False
+                self._assignment[dev] = resumed
+                self._book_next_segment(resumed, dev, t)
+        self._readmit_deferred(t)
+        self._autoscale(t)
+        self._schedule(t)
+
+    def _readmit_deferred(self, t: float) -> None:
+        """Re-admit parked requests once the queue drains (FIFO)."""
+        while self._deferred:
+            req, graph_id = self._deferred[0]
+            cls = self._class_of(req)
+            watermark = self.admission.low_watermark(cls)
+            if watermark is not None and self._waiting() >= watermark:
+                break
+            self._deferred.pop(0)
+            self._admit(req, graph_id, t, deferred=True)
+
+    def _end_of_stream(self, t: float) -> None:
+        """No further arrivals: flush the parking lot and open groups."""
+        while self._deferred:
+            req, graph_id = self._deferred.pop(0)
+            self._admit(req, graph_id, t, deferred=True)
+        for gkey in list(self._groups):
+            self._close_group(gkey, t)
+        self._schedule(t)
+
+    # -- autoscaling ----------------------------------------------------
+    def _autoscale(self, now: float) -> None:
+        if self.autoscaler is None:
+            return
+        pool = self.server.pool
+        active = pool.num_active
+        busy = self._busy_devices()
+        depth = self._queue_depth()
+        proposal = self.autoscaler.propose(
+            now, active=active, queue_depth=depth, busy_devices=busy,
+            pool_devices=pool.num_devices,
+        )
+        if proposal is None:
+            return
+        target, reason = proposal
+        if target > active:
+            pool.set_active(
+                target, now=now,
+                provision_delay_s=self.autoscaler.provision_delay_s,
+            )
+        else:
+            # never park a device that owns work — drain first
+            occupied = [
+                d
+                for d in range(active)
+                if self._assignment[d] is not None or self._paused_stack[d]
+            ]
+            target = max(target, max(occupied, default=-1) + 1)
+            if target >= active:
+                return
+            pool.set_active(target, now=now)
+        self.autoscaler.commit(
+            now, from_devices=active, to_devices=target, reason=reason,
+            queue_depth=depth, busy_devices=busy,
+        )
+        tracer = self.server.tracer
+        if tracer.enabled:
+            tracer.counter("sched", "active_devices", now, target)
+        if target > active:
+            self._schedule(now)
+
+    # -- reporting ------------------------------------------------------
+    def _build_report(self, hits0, misses0, compile0, saved0):
+        server = self.server
+        scale_events = (
+            [e.to_dict() for e in self.autoscaler.events]
+            if self.autoscaler is not None
+            else []
+        )
+        sched_extras = {
+            "scheduler": "continuous",
+            "shed": self._shed,
+            "deferred": self._deferred_total,
+            "joined": self._joined,
+            "preemptions": self._preemptions,
+            "executions": len(self._executions),
+            "scale_events": scale_events,
+            "active_devices": server.pool.num_active,
+            "max_queue_depth": self._max_depth,
+            "admission": self.admission.snapshot(),
+        }
+        return server._report(
+            self._responses,
+            len(self._executions),
+            hits=server.cache.hits - hits0,
+            misses=server.cache.misses - misses0,
+            compile_s=server.cache.compile_s - compile0,
+            saved_s=server.cache.saved_s - saved0,
+            mutation_counters=self._mutation_counters,
+            shard_counters=self._shard_counters,
+            policy=self.policy,
+            sched_extras=sched_extras,
+        )

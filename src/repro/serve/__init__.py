@@ -27,7 +27,12 @@ from repro.serve.batcher import MicroBatch, MicroBatcher
 from repro.serve.cache import CacheStats, ProgramCache
 from repro.serve.pool import AcceleratorPool, DispatchEvent
 from repro.serve.request import InferenceRequest, InferenceResponse, MutationRequest
-from repro.serve.server import MUTATION_POLICIES, InferenceServer, ServingReport
+from repro.serve.server import (
+    MUTATION_POLICIES,
+    SCHEDULERS,
+    InferenceServer,
+    ServingReport,
+)
 from repro.serve.workload import (
     ARRIVAL_KINDS,
     bursty_arrivals,
@@ -40,6 +45,7 @@ from repro.serve.workload import (
 __all__ = [
     "ARRIVAL_KINDS",
     "MUTATION_POLICIES",
+    "SCHEDULERS",
     "AcceleratorPool",
     "CacheStats",
     "DispatchEvent",

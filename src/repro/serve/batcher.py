@@ -98,22 +98,41 @@ class MicroBatcher:
 
         Strict comparison so ``max_wait_s=0`` still batches requests
         arriving at the same instant (a deadline *at* ``now`` lets a
-        same-key arrival at ``now`` join the group first).
+        same-key arrival at ``now`` join the group first); with
+        ``max_wait_s=0`` a group is therefore dispatched at the first
+        event *after* its opening instant — immediate-dispatch up to
+        same-instant coalescing.
+
+        Deadline ties order by group *open* order (``batch_id`` is
+        monotonic in creation), so dispatch is stable FIFO rather than
+        dict-insertion-order dependent.
         """
         ready = [g for g in self._groups.values() if self.deadline(g) < now]
         for g in ready:
             del self._groups[g.key]
-        ready.sort(key=lambda g: self.deadline(g))
+        ready.sort(key=lambda g: (self.deadline(g), g.batch_id))
         return ready
 
     def next_deadline(self) -> float | None:
-        """Earliest pending timeout, or None when the queue is empty."""
+        """Earliest pending timeout, or ``None`` on an empty batcher.
+
+        ``None`` (rather than ``inf`` or a raise) lets an event loop use
+        it directly as "no timer to arm".
+        """
         if not self._groups:
             return None
         return min(self.deadline(g) for g in self._groups.values())
 
     def drain(self) -> list[MicroBatch]:
-        """Pop all remaining groups (end of the request stream)."""
-        groups = sorted(self._groups.values(), key=lambda g: self.deadline(g))
+        """Pop all remaining groups (end of the request stream).
+
+        Same stable FIFO order as :meth:`due`: (deadline, open order) —
+        two groups opened at the same instant drain in the order their
+        first requests were admitted.
+        """
+        groups = sorted(
+            self._groups.values(),
+            key=lambda g: (self.deadline(g), g.batch_id),
+        )
         self._groups.clear()
         return groups

@@ -63,6 +63,12 @@ class InferenceRequest:
     shards: int = 1
     #: arrival time on the virtual clock, in seconds
     arrival_s: float = 0.0
+    #: SLO class tag ("interactive" | "bulk") — consumed by the
+    #: continuous scheduler (repro.sched) for priority, admission and
+    #: per-class reporting; the legacy batcher ignores it.  Deliberately
+    #: NOT part of program_key/batch_key: the class changes *when* a
+    #: request runs, never *what* it computes.
+    slo: str = "bulk"
     request_id: int = field(default_factory=lambda: next(_request_ids))
 
     def program_key(self, config: AcceleratorConfig) -> tuple:
@@ -140,6 +146,15 @@ class InferenceResponse:
     #: from the same (program, strategy); copy before mutating.  None when
     #: the server runs with ``return_outputs=False``
     output: Optional[np.ndarray] = None
+    #: the request's SLO class (mirrors ``InferenceRequest.slo``)
+    slo: str = "bulk"
+    #: True when the continuous scheduler attached this request to an
+    #: already-running execution at a layer boundary (``start_s`` is the
+    #: join boundary, so queue/execute still sum to latency)
+    joined: bool = False
+    #: True when the admission controller parked this request during
+    #: overload and re-admitted it later
+    deferred: bool = False
 
     @property
     def latency_s(self) -> float:

@@ -52,7 +52,15 @@ from repro.serve.request import (
     MutationRequest,
 )
 
-__all__ = ["MUTATION_POLICIES", "InferenceServer", "ServingReport"]
+__all__ = [
+    "MUTATION_POLICIES",
+    "SCHEDULERS",
+    "InferenceServer",
+    "ServingReport",
+]
+
+#: available serve-loop implementations
+SCHEDULERS = ("legacy", "continuous")
 
 
 @dataclass(frozen=True)
@@ -73,6 +81,11 @@ class _RunMemo:
     halo_s: float = 0.0
     #: mean per-shard barrier-wait seconds (0.0 when unsharded)
     barrier_s: float = 0.0
+    #: per-layer durations summing exactly to ``latency_s`` (unsharded:
+    #: kernel cycles + exposed analysis per kernel; sharded: per-layer
+    #: barrier intervals) — the continuous scheduler's join/preemption
+    #: boundaries
+    segments_s: tuple = ()
 
 
 @dataclass
@@ -117,6 +130,24 @@ class ServingReport:
     max_shard_width: int = 0
     halo_bytes: int = 0
     halo_s: float = 0.0
+    #: which serve loop produced this report ("legacy" | "continuous")
+    scheduler: str = "legacy"
+    #: served requests meeting their class's SLO target per second of
+    #: makespan (classes without a target always count as met, so with
+    #: no targets goodput equals throughput)
+    goodput_rps: float = 0.0
+    #: devices in the pool's active set when the sweep ended
+    active_devices: int = 0
+    #: continuous-scheduler accounting (zero on legacy sweeps)
+    shed_requests: int = 0
+    deferred_requests: int = 0
+    joined_requests: int = 0
+    preemptions: int = 0
+    max_queue_depth: int = 0
+    #: per-SLO-class latency percentiles, targets and violations
+    class_breakdown: dict = field(repr=False, default_factory=dict)
+    #: committed autoscaler transitions (ScaleEvent dicts, in order)
+    autoscaler_events: list = field(repr=False, default_factory=list)
     #: MetricsRegistry snapshot of the sweep (counters/gauges/histograms)
     metrics: dict = field(repr=False, default_factory=dict)
     #: per-request phase decomposition (queue_wait / compile / execute /
@@ -167,6 +198,43 @@ class ServingReport:
                 f"{self.max_shard_width} devices each), halo "
                 f"{self.halo_bytes:,} B / {self.halo_s * 1e3:.3f} ms"
             )
+        for name in sorted(self.class_breakdown):
+            c = self.class_breakdown[name]
+            target = c.get("target_p99_s")
+            target_txt = (
+                f", target p99 {target * 1e3:.3f} ms "
+                f"({c['violations']} violations)"
+                if target is not None
+                else ""
+            )
+            lines.append(
+                f"  class {name:<12}: {c['count']} served, p50/p95/p99 "
+                f"{c['p50_s'] * 1e3:.3f} / {c['p95_s'] * 1e3:.3f} / "
+                f"{c['p99_s'] * 1e3:.3f} ms{target_txt}"
+            )
+        if self.scheduler != "legacy":
+            lines.append(
+                f"  scheduler         : {self.scheduler} — "
+                f"{self.joined_requests} joined in flight, "
+                f"{self.shed_requests} shed, "
+                f"{self.deferred_requests} deferred, "
+                f"{self.preemptions} preemptions "
+                f"(max queue depth {self.max_queue_depth})"
+            )
+            lines.append(
+                f"  goodput           : {self.goodput_rps:,.0f} req/s "
+                f"meeting SLO (of {self.throughput_rps:,.0f} served)"
+            )
+        if self.autoscaler_events:
+            transitions = " -> ".join(
+                str(e["to_devices"]) for e in self.autoscaler_events
+            )
+            first = self.autoscaler_events[0]
+            lines.append(
+                f"  autoscaler        : {len(self.autoscaler_events)} "
+                f"events, active {first['from_devices']} -> {transitions} "
+                f"(final {self.active_devices})"
+            )
         if self.num_mutations:
             lines.append(
                 f"  graph mutations   : {self.num_mutations} applied, "
@@ -213,6 +281,16 @@ class ServingReport:
             "max_shard_width": self.max_shard_width,
             "halo_bytes": self.halo_bytes,
             "halo_s": self.halo_s,
+            "scheduler": self.scheduler,
+            "goodput_rps": self.goodput_rps,
+            "active_devices": self.active_devices,
+            "shed_requests": self.shed_requests,
+            "deferred_requests": self.deferred_requests,
+            "joined_requests": self.joined_requests,
+            "preemptions": self.preemptions,
+            "max_queue_depth": self.max_queue_depth,
+            "class_breakdown": self.class_breakdown,
+            "autoscaler_events": list(self.autoscaler_events),
             "metrics": self.metrics,
             "phase_breakdown": self.phase_breakdown,
         }
@@ -239,12 +317,37 @@ class InferenceServer:
         return_outputs: bool = True,
         mutation_policy: str = "patch",
         patch_policy: PatchPolicy | None = None,
+        scheduler: str = "legacy",
+        slo_policy=None,
+        admission=None,
+        autoscaler=None,
     ) -> None:
         if mutation_policy not in MUTATION_POLICIES:
             raise ValueError(
                 f"mutation_policy must be one of {MUTATION_POLICIES}, "
                 f"got {mutation_policy!r}"
             )
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"scheduler must be one of {SCHEDULERS}, got {scheduler!r}"
+            )
+        if scheduler == "legacy":
+            # slo_policy is allowed (it sets the goodput targets the
+            # report grades against) but the continuous-only machinery
+            # is not — silently ignoring it would misreport the sweep
+            extras = [
+                name
+                for name, value in (
+                    ("admission", admission), ("autoscaler", autoscaler)
+                )
+                if value is not None
+            ]
+            if extras:
+                raise ValueError(
+                    f"{', '.join(extras)} require scheduler='continuous' "
+                    f"(the legacy batcher has no admission control or "
+                    f"autoscaling)"
+                )
         if engine is None:
             engine = Engine(
                 config,
@@ -277,6 +380,12 @@ class InferenceServer:
         self.max_batch_size = max_batch_size
         self.max_wait_s = max_wait_s
         self.return_outputs = return_outputs
+        #: "legacy" (the original fire-whole-batches loop, untouched) or
+        #: "continuous" (repro.sched event-driven continuous batching)
+        self.scheduler = scheduler
+        self.slo_policy = slo_policy
+        self.admission = admission
+        self.autoscaler = autoscaler
         #: what happens to cached programs when their graph mutates (see
         #: repro.engine.core.MUTATION_POLICIES)
         self.mutation_policy = mutation_policy
@@ -400,6 +509,10 @@ class InferenceServer:
                         result.latency_s - float(np.mean(result.shard_busy_s)),
                         0.0,
                     ),
+                    # per-layer barrier intervals sum to latency_s exactly
+                    segments_s=tuple(
+                        float(ks.barrier_s) for ks in result.kernel_stats
+                    ),
                 )
                 accel_cycles = result.latency_s * self.config.freq_hz
             else:
@@ -407,8 +520,26 @@ class InferenceServer:
                 result = run_strategy(
                     program, strategy, accelerator=self.pool.devices[device]
                 )
-                extra = {}
                 accel_cycles = result.total_cycles
+                # per-kernel durations (execution + exposed analysis);
+                # normalise float-summation drift into the last segment
+                # so the segments reconstruct latency_s exactly
+                from repro.runtime.executor import exposed_analysis_cycles
+
+                soft = self.pool.devices[device].soft_processor
+                segs = [
+                    self.config.cycles_to_seconds(
+                        ks.cycles
+                        + exposed_analysis_cycles(
+                            soft, ks.analysis_seconds, ks.num_tasks,
+                            ks.cycles,
+                        )
+                    )
+                    for ks in result.kernel_stats
+                ]
+                if segs:
+                    segs[-1] += result.latency_s - sum(segs)
+                extra = {"segments_s": tuple(segs)}
             output = None
             if self.return_outputs:
                 output = result.output_dense()
@@ -496,6 +627,7 @@ class InferenceServer:
                     barrier_s=memo.barrier_s,
                     accel_cycles=memo.accel_cycles,
                     output=memo.output if self.return_outputs else None,
+                    slo=req.slo,
                 )
             )
 
@@ -507,7 +639,21 @@ class InferenceServer:
         :class:`MutationRequest` (for graphs registered via
         :meth:`register_graph`); events are processed in arrival order,
         mutations first on timestamp ties.
+
+        With ``scheduler="continuous"`` the sweep runs through
+        :class:`~repro.sched.scheduler.ContinuousScheduler` instead of
+        the loop below; ``scheduler="legacy"`` (the default) is the
+        original path, bit-exact with pre-1.5 servers.
         """
+        if self.scheduler == "continuous":
+            from repro.sched.scheduler import ContinuousScheduler
+
+            return ContinuousScheduler(
+                self,
+                policy=self.slo_policy,
+                admission=self.admission,
+                autoscaler=self.autoscaler,
+            ).run(requests)
         hits0, misses0 = self.cache.hits, self.cache.misses
         compile0, saved0 = self.cache.compile_s, self.cache.saved_s
         self.pool.reset()
@@ -638,6 +784,7 @@ class InferenceServer:
             saved_s=self.cache.saved_s - saved0,
             mutation_counters=mutation_counters,
             shard_counters=shard_counters,
+            policy=self.slo_policy,
         )
 
     # -- reporting ------------------------------------------------------
@@ -652,6 +799,8 @@ class InferenceServer:
         saved_s: float,
         mutation_counters: dict | None = None,
         shard_counters: dict | None = None,
+        policy=None,
+        sched_extras: dict | None = None,
     ) -> ServingReport:
         n = len(responses)
         if n:
@@ -675,6 +824,41 @@ class InferenceServer:
         lookups = hits + misses
         mc = mutation_counters or {}
         sc = shard_counters or {}
+        # per-SLO-class latency block: percentiles for every class seen,
+        # violations/goodput against the policy's targets (a class with
+        # no target always meets its SLO, so targetless goodput ==
+        # throughput — legacy sweeps report it too)
+        class_breakdown: dict[str, dict] = {}
+        met_total = 0
+        for name in sorted({r.slo for r in responses}):
+            rs = [r for r in responses if r.slo == name]
+            lats = np.array([r.latency_s for r in rs])
+            target = None
+            if policy is not None:
+                try:
+                    target = policy.get(name).target_p99_s
+                except KeyError:
+                    target = None
+            violations = (
+                int((lats > target).sum()) if target is not None else 0
+            )
+            met_total += len(rs) - violations
+            c50, c95, c99 = np.percentile(lats, [50, 95, 99])
+            class_breakdown[name] = {
+                "count": len(rs),
+                "p50_s": float(c50),
+                "p95_s": float(c95),
+                "p99_s": float(c99),
+                "mean_s": float(lats.mean()),
+                "queue_p95_s": float(
+                    np.percentile([r.queue_s for r in rs], 95)
+                ),
+                "target_p99_s": target,
+                "violations": violations,
+                "joined": sum(1 for r in rs if r.joined),
+                "deferred": sum(1 for r in rs if r.deferred),
+            }
+        se = sched_extras or {}
         registry = MetricsRegistry()
         registry.counter("serve.requests").inc(n)
         registry.counter("serve.batches").inc(num_batches)
@@ -718,6 +902,52 @@ class InferenceServer:
         phase_breakdown = {
             phase: hist.snapshot() for phase, hist in phase_hists.items()
         }
+        if sched_extras is not None:
+            # serve.sched.* catalogue — trace-analyze attributes per-class
+            # queue-wait from the sched/<class> spans, these give the
+            # matching counter/histogram view
+            adm = se.get("admission", {})
+            admitted = sum(c.get("admit", 0) for c in adm.values())
+            registry.counter("serve.sched.admitted").inc(admitted)
+            registry.counter("serve.sched.joined").inc(se.get("joined", 0))
+            registry.counter("serve.sched.shed").inc(len(se.get("shed", [])))
+            registry.counter("serve.sched.deferred").inc(
+                se.get("deferred", 0)
+            )
+            registry.counter("serve.sched.preemptions").inc(
+                se.get("preemptions", 0)
+            )
+            registry.counter("serve.sched.executions").inc(
+                se.get("executions", 0)
+            )
+            scale_events = se.get("scale_events", [])
+            registry.counter("serve.sched.scale_ups").inc(
+                sum(
+                    1
+                    for e in scale_events
+                    if e["to_devices"] > e["from_devices"]
+                )
+            )
+            registry.counter("serve.sched.scale_downs").inc(
+                sum(
+                    1
+                    for e in scale_events
+                    if e["to_devices"] < e["from_devices"]
+                )
+            )
+            registry.gauge("serve.sched.active_devices").set(
+                se.get("active_devices", self.pool.num_active)
+            )
+            registry.gauge("serve.sched.max_queue_depth").set(
+                se.get("max_queue_depth", 0)
+            )
+            for name in class_breakdown:
+                h = registry.histogram(f"serve.sched.{name}.latency_s")
+                q = registry.histogram(f"serve.sched.{name}.queue_s")
+                for r in responses:
+                    if r.slo == name:
+                        h.observe(r.latency_s)
+                        q.observe(r.queue_s)
         return ServingReport(
             num_requests=n,
             num_batches=num_batches,
@@ -751,6 +981,16 @@ class InferenceServer:
             max_shard_width=(shard_counters or {}).get("width", 0),
             halo_bytes=(shard_counters or {}).get("halo_bytes", 0),
             halo_s=(shard_counters or {}).get("halo_s", 0.0),
+            scheduler=se.get("scheduler", "legacy"),
+            goodput_rps=met_total / span if span > 0 else 0.0,
+            active_devices=se.get("active_devices", self.pool.num_active),
+            shed_requests=len(se.get("shed", [])),
+            deferred_requests=se.get("deferred", 0),
+            joined_requests=se.get("joined", 0),
+            preemptions=se.get("preemptions", 0),
+            max_queue_depth=se.get("max_queue_depth", 0),
+            class_breakdown=class_breakdown,
+            autoscaler_events=list(se.get("scale_events", [])),
             metrics=registry.snapshot(),
             phase_breakdown=phase_breakdown,
             responses=responses,

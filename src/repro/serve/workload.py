@@ -117,6 +117,7 @@ def synthesize(
     skew: float = 0.0,
     seed: int = 0,
     shards: int = 1,
+    class_skew: float = 0.0,
 ) -> list[InferenceRequest]:
     """Build a deterministic request stream for the server.
 
@@ -125,11 +126,19 @@ def synthesize(
     Zipf popularity (``skew>0`` — hot programs dominate, which is what
     makes the program cache pay off).  ``shards > 1`` marks every
     request for sharded multi-device execution (``repro.shard``).
+
+    ``class_skew`` is the fraction of requests tagged with the
+    ``"interactive"`` SLO class (the rest stay ``"bulk"``); the tags are
+    drawn from their own seeded stream, so the same seed yields the same
+    interactive/bulk assignment regardless of the content mix — which is
+    what makes overload benches reproducible.
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")
     if num_requests < 1:
         raise ValueError("num_requests must be >= 1")
+    if not 0.0 <= class_skew <= 1.0:
+        raise ValueError(f"class_skew must be within [0, 1], got {class_skew}")
     if arrival not in ARRIVAL_KINDS:
         raise ValueError(f"arrival must be one of {ARRIVAL_KINDS}, got {arrival!r}")
     if arrival == "poisson":
@@ -149,9 +158,13 @@ def synthesize(
     rng = np.random.default_rng(seed + 1)
     probs = _mix_probabilities(len(combos), skew, rng)
     picks = rng.choice(len(combos), size=num_requests, p=probs)
+    # independent stream: class tags must not perturb (or be perturbed
+    # by) the content draws above
+    class_rng = np.random.default_rng(seed + 2)
+    interactive = class_rng.random(num_requests) < class_skew
 
     requests = []
-    for t, pick in zip(times, picks):
+    for i, (t, pick) in enumerate(zip(times, picks)):
         model, dataset, strategy, prune = combos[int(pick)]
         requests.append(
             InferenceRequest(
@@ -163,6 +176,7 @@ def synthesize(
                 seed=seed,
                 shards=shards,
                 arrival_s=float(t),
+                slo="interactive" if interactive[i] else "bulk",
             )
         )
     return requests

@@ -101,6 +101,20 @@ class ShardedResult:
         """Modelled end-to-end latency: the sum of layer barriers."""
         return float(sum(ks.barrier_s for ks in self.kernel_stats))
 
+    def layer_boundaries_s(self) -> list[float]:
+        """Cumulative layer-boundary times on the run-local clock.
+
+        ``boundaries[i]`` is when layer ``i`` starts (``boundaries[0] ==
+        0.0``) and the final entry is :attr:`latency_s` — the barrier
+        structure the continuous scheduler (:mod:`repro.sched`) uses as
+        admission points for joining requests into an in-flight sharded
+        execution.
+        """
+        boundaries = [0.0]
+        for ks in self.kernel_stats:
+            boundaries.append(boundaries[-1] + ks.barrier_s)
+        return boundaries
+
     @property
     def latency_ms(self) -> float:
         return self.latency_s * 1e3
@@ -252,6 +266,7 @@ class ShardedRuntime:
         *,
         book_on_pool: bool = True,
         tracer=NULL_TRACER,
+        on_layer=None,
     ) -> None:
         if plan.num_shards > pool.num_devices:
             raise ValueError(
@@ -266,6 +281,12 @@ class ShardedRuntime:
         self.plan = plan
         self.book_on_pool = book_on_pool
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: optional layer-boundary admission hook: called as
+        #: ``on_layer(kernel_id, layer_index, t_start_s, barrier_s)``
+        #: after each layer's barrier resolves (run-local clock) — the
+        #: point at which a continuous scheduler may admit new requests
+        #: into this execution
+        self.on_layer = on_layer
         #: per-operand halo vertex counts, cached across kernels; the
         #: plan already computed the balance adjacency's counts
         self._halo_cache: dict[str, np.ndarray] = {}
@@ -424,6 +445,10 @@ class ShardedRuntime:
                     t_layer, t_layer + barrier_s, cat="layer",
                     slowest_shard=int(np.argmax(seconds)) if n else 0,
                 )
+            if self.on_layer is not None:
+                self.on_layer(
+                    kernel.kernel_id, len(kernel_stats), t_layer, barrier_s
+                )
             t_layer += barrier_s
             if self.book_on_pool:
                 # one barrier-synchronised group per layer: every member
@@ -480,6 +505,7 @@ def run_sharded(
     plan: ShardPlan | None = None,
     book_on_pool: bool = True,
     tracer=NULL_TRACER,
+    on_layer=None,
 ) -> ShardedResult:
     """Convenience: plan + execute one program across ``num_shards``
     devices (a dedicated pool is created unless one is passed)."""
@@ -489,5 +515,6 @@ def run_sharded(
         pool = AcceleratorPool(program.config, plan.num_shards)
     strategy = make_strategy(strategy_name, pool.config)
     return ShardedRuntime(
-        pool, strategy, plan, book_on_pool=book_on_pool, tracer=tracer
+        pool, strategy, plan, book_on_pool=book_on_pool, tracer=tracer,
+        on_layer=on_layer,
     ).run(program)
