@@ -147,6 +147,12 @@ class DenseToSparseModule:
             return 0
         return math.ceil(num_elements / self.width) + self.pipeline_stages
 
+    def cycles_for_batch(self, num_elements: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`cycles_for` over an int array of sizes."""
+        e = np.asarray(num_elements, dtype=np.int64)
+        cycles = -(e // -self.width) + self.pipeline_stages
+        return np.where(e == 0, 0, cycles)
+
 
 class SparseToDenseModule:
     """S2D unit: scatters (index, value) pairs back into a dense stream.
@@ -180,3 +186,9 @@ class SparseToDenseModule:
         if num_dense_elements == 0:
             return 0
         return math.ceil(num_dense_elements / self.width) + self.pipeline_stages
+
+    def cycles_for_batch(self, num_dense_elements: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`cycles_for` over an int array of sizes."""
+        e = np.asarray(num_dense_elements, dtype=np.int64)
+        cycles = -(e // -self.width) + self.pipeline_stages
+        return np.where(e == 0, 0, cycles)

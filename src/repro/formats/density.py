@@ -120,6 +120,12 @@ class SparsityProfiler:
             return 0
         return math.ceil(elements / self.width) + self.adder_tree_depth
 
+    def cycles_for_batch(self, elements: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`cycles_for` over an int array of sizes."""
+        e = np.asarray(elements, dtype=np.int64)
+        cycles = -(e // -self.width) + self.adder_tree_depth
+        return np.where(e == 0, 0, cycles)
+
     def profile(self, mat: MatrixLike) -> ProfileReport:
         """Count nonzeros the way the hardware does (streaming pass)."""
         nnz = nnz_count(mat)

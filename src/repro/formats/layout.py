@@ -53,6 +53,12 @@ class LayoutTransformationUnit:
             return 0
         return math.ceil(num_elements / self.width) + self.pipeline_stages
 
+    def cycles_for_batch(self, num_elements: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`cycles_for` over an int array of sizes."""
+        e = np.asarray(num_elements, dtype=np.int64)
+        cycles = -(e // -self.width) + self.pipeline_stages
+        return np.where(e == 0, 0, cycles)
+
     def transform_dense(self, mat: DenseMatrix) -> tuple[DenseMatrix, TransformReport]:
         """Flip a dense matrix's layout (logical content unchanged)."""
         out = mat.with_layout(mat.layout.flipped())
@@ -88,3 +94,9 @@ class LayoutMerger:
         merged = a + b
         cycles = math.ceil(merged.size / self.width) if merged.size else 0
         return merged, TransformReport(merged.size, cycles)
+
+    def cycles_for_batch(self, sizes: np.ndarray) -> np.ndarray:
+        """Vectorised merge-cycle accounting (one streaming pass, no
+        pipeline fill — mirrors :meth:`merge`)."""
+        e = np.asarray(sizes, dtype=np.int64)
+        return np.where(e == 0, 0, -(e // -self.width))

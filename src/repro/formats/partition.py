@@ -91,6 +91,17 @@ def block_nnz_grid(
             hi = indptr[min((i + 1) * block_rows, n_rows)]
             grid[i] = np.bincount(col_blocks[lo:hi], minlength=nc)
         return grid
+    if not sp.issparse(mat):
+        # dense path: blockwise popcount via two reduceat passes beats
+        # materialising the O(nnz) coordinate arrays (a ~50%-dense
+        # intermediate feature matrix yields tens of millions of them)
+        nz = (np.asarray(mat) != 0).astype(np.int64)
+        row_starts = np.arange(0, mat.shape[0], block_rows)
+        col_starts = np.arange(0, mat.shape[1], block_cols)
+        grid = np.add.reduceat(nz, row_starts, axis=0)
+        return np.ascontiguousarray(
+            np.add.reduceat(grid, col_starts, axis=1)
+        )
     rows, cols = _nonzero_coords(mat)
     if not rows.size:
         return np.zeros((nr, nc), dtype=np.int64)
@@ -157,6 +168,7 @@ class PartitionedMatrix:
         # O(nnz_stripe) — the difference between seconds and minutes on
         # Flickr/Reddit-scale adjacency matrices.
         self._stripe_cache: dict[int, sp.csc_matrix] = {}
+        self._block_row_cache: dict[int, list] = {}
         self._row_sizes: np.ndarray | None = None
         self._col_sizes: np.ndarray | None = None
         self._density_grid: np.ndarray | None = None
@@ -202,6 +214,62 @@ class PartitionedMatrix:
             if len(self._stripe_cache) > 512:  # bound stale stripes
                 self._stripe_cache.pop(next(iter(self._stripe_cache)))
         return stripe[:, c0:c1].tocsr()
+
+    def csr_blocks_for_row(self, i: int) -> list:
+        """All CSR blocks of block row ``i`` in one vectorised stripe split.
+
+        The per-block ``stripe[:, c0:c1].tocsr()`` slicing in
+        :meth:`block` is the simulator's hottest path on large graphs
+        (scipy's getitem + constructor overhead per block).  This method
+        splits a whole row stripe into its column blocks with one stable
+        argsort over the stripe's column-block ids plus bincount/cumsum
+        index arithmetic, then assembles each block's CSR arrays
+        directly.  Entry order within each block is identical to the
+        CSC-sliced path (row-major, columns ascending), so functional
+        products are bit-identical.  Only valid for sparse storage.
+        """
+        if not self.is_sparse_storage:
+            raise TypeError("csr_blocks_for_row requires sparse storage")
+        blocks = self._block_row_cache.get(i)
+        if blocks is not None:
+            return blocks
+        r0 = i * self.block_rows
+        r1 = min(r0 + self.block_rows, self.shape[0])
+        stripe = self.matrix[r0:r1, :].tocsr()
+        stripe.sort_indices()
+        nrows = r1 - r0
+        nc = self.num_col_blocks
+        bc = self.block_cols
+        ncols = self.shape[1]
+        idx = stripe.indices
+        idx_dtype = idx.dtype
+        cb = idx // bc
+        order = np.argsort(cb, kind="stable")
+        data_s = stripe.data[order]
+        local_s = (idx - cb * bc).astype(idx_dtype, copy=False)[order]
+        entry_rows = np.repeat(
+            np.arange(nrows, dtype=np.int64), np.diff(stripe.indptr)
+        )
+        counts2d = np.bincount(
+            cb * nrows + entry_rows, minlength=nc * nrows
+        ).reshape(nc, nrows)
+        indptr2d = np.zeros((nc, nrows + 1), dtype=np.int64)
+        np.cumsum(counts2d, axis=1, out=indptr2d[:, 1:])
+        offsets = np.concatenate(([0], np.cumsum(indptr2d[:, -1])))
+        blocks = []
+        for b in range(nc):
+            w = min(bc, ncols - b * bc)
+            lo, hi = int(offsets[b]), int(offsets[b + 1])
+            blk = sp.csr_matrix.__new__(sp.csr_matrix)
+            blk.data = data_s[lo:hi]
+            blk.indices = local_s[lo:hi]
+            blk.indptr = indptr2d[b].astype(idx_dtype, copy=False)
+            blk._shape = (nrows, w)
+            blocks.append(blk)
+        self._block_row_cache[i] = blocks
+        if len(self._block_row_cache) > 512:  # bound stale stripes
+            self._block_row_cache.pop(next(iter(self._block_row_cache)))
+        return blocks
 
     def dense_block(self, i: int, j: int) -> np.ndarray:
         return as_dense(self.block(i, j))
@@ -330,6 +398,7 @@ class PartitionedMatrix:
         # every cached stripe observes the old bytes; rebinding the matrix
         # invalidates them all (stripes rebuild lazily on next access)
         self._stripe_cache.clear()
+        self._block_row_cache.clear()
         return dirty
 
     @classmethod
@@ -358,6 +427,7 @@ class PartitionedMatrix:
         pm.name = old.name
         pm._nnz_grid = old._nnz_grid.copy()
         pm._stripe_cache = {}
+        pm._block_row_cache = {}
         pm._row_sizes = old._row_sizes
         pm._col_sizes = old._col_sizes
         pm._density_grid = None

@@ -34,10 +34,17 @@ from repro.formats.dense import DTYPE
 from repro.formats.density import SparsityProfiler
 from repro.formats.layout import LayoutMerger, LayoutTransformationUnit
 from repro.hw.buffers import BufferOverflowError, CoreBuffers
-from repro.hw.gemm_unit import gemm_compute_cycles
+from repro.hw.gemm_unit import gemm_compute_cycles, gemm_compute_cycles_batch
 from repro.hw.memory import ExternalMemory
-from repro.hw.report import CycleReport, PairExecution, Primitive
-from repro.hw.spdmm_unit import spdmm_compute_cycles
+from repro.hw.report import (
+    GEMM_CODE,
+    SPDMM_CODE,
+    SPMM_CODE,
+    CycleReport,
+    PairExecution,
+    Primitive,
+)
+from repro.hw.spdmm_unit import spdmm_compute_cycles, spdmm_compute_cycles_batch
 from repro.hw.spmm_unit import spmm_compute_cycles
 
 
@@ -291,6 +298,113 @@ class ComputationCore:
     def reset(self) -> None:
         self._last_primitive = None
         self.buffers.clear()
+
+
+def batch_pair_cycles(
+    core: "ComputationCore",
+    codes: np.ndarray,
+    transposed: np.ndarray,
+    m: np.ndarray,
+    n: np.ndarray,
+    d: np.ndarray,
+    x_nnz: np.ndarray,
+    y_nnz: np.ndarray,
+    x_stored_sparse: bool,
+    y_stored_sparse: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched :meth:`ComputationCore.execute_pair` cycle accounting.
+
+    Returns per-pair ``(compute, transform, macs)`` int64 arrays over all
+    pairs at once, mirroring the scalar path's formulas exactly.  SPMM
+    pairs get zeros for compute/macs — their counts are data-dependent
+    (per-SCP workloads) and are filled in during the functional pass.
+    SKIP pairs contribute zeros everywhere.
+    """
+    codes = np.asarray(codes)
+    transposed = np.asarray(transposed, dtype=bool)
+    m = np.asarray(m, dtype=np.int64)
+    n = np.asarray(n, dtype=np.int64)
+    d = np.asarray(d, dtype=np.int64)
+    x_nnz = np.asarray(x_nnz, dtype=np.int64)
+    y_nnz = np.asarray(y_nnz, dtype=np.int64)
+    elems_x = m * n
+    elems_y = n * d
+    gemm = codes == GEMM_CODE
+    spdmm = codes == SPDMM_CODE
+    spmm = codes == SPMM_CODE
+
+    compute = np.zeros(codes.shape, dtype=np.int64)
+    macs = np.zeros(codes.shape, dtype=np.int64)
+    transform = np.zeros(codes.shape, dtype=np.int64)
+
+    if gemm.any():
+        compute[gemm] = gemm_compute_cycles_batch(
+            m[gemm], n[gemm], d[gemm], core.config
+        )
+        macs[gemm] = (elems_x * d)[gemm]
+        tr = core.ltu.cycles_for_batch(elems_y)[gemm]
+        if x_stored_sparse:
+            tr = tr + core.s2d.cycles_for_batch(elems_x)[gemm]
+        if y_stored_sparse:
+            tr = tr + core.s2d.cycles_for_batch(elems_y)[gemm]
+        transform[gemm] = tr
+    if spdmm.any():
+        sparse_nnz = np.where(transposed, y_nnz, x_nnz)
+        sparse_elems = np.where(transposed, elems_y, elems_x)
+        dense_elems = np.where(transposed, elems_x, elems_y)
+        sparse_stored = np.where(transposed, y_stored_sparse, x_stored_sparse)
+        dense_stored = np.where(transposed, x_stored_sparse, y_stored_sparse)
+        dense_cols = np.where(transposed, m, d)
+        compute[spdmm] = spdmm_compute_cycles_batch(
+            sparse_nnz[spdmm], dense_cols[spdmm], core.config
+        )
+        macs[spdmm] = (sparse_nnz * dense_cols)[spdmm]
+        tr = np.where(
+            ~sparse_stored, core.d2s.cycles_for_batch(sparse_elems), 0
+        )
+        tr = tr + np.where(
+            dense_stored, core.s2d.cycles_for_batch(dense_elems), 0
+        )
+        tr = tr + np.where(
+            transposed, core.ltu.cycles_for_batch(dense_elems), 0
+        )
+        transform[spdmm] = tr[spdmm]
+    if spmm.any():
+        tr = np.zeros(codes.shape, dtype=np.int64)
+        if not x_stored_sparse:
+            tr = tr + core.d2s.cycles_for_batch(elems_x)
+        if not y_stored_sparse:
+            tr = tr + core.d2s.cycles_for_batch(elems_y)
+        transform[spmm] = tr[spmm]
+    return compute, transform, macs
+
+
+def batch_task_writeback(
+    core: "ComputationCore",
+    sizes: np.ndarray,
+    out_nnz: np.ndarray,
+    write_sparse: bool,
+    merged: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched write-back accounting of :meth:`ComputationCore.execute_task`.
+
+    ``sizes`` are output-partition element counts, ``out_nnz`` the exact
+    nonzero counts, ``merged`` flags tasks whose partials needed the
+    Layout Merger.  Returns per-task ``(profile, transform, write_bytes)``
+    int64 arrays.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    out_nnz = np.asarray(out_nnz, dtype=np.int64)
+    profile = core.profiler.cycles_for_batch(sizes)
+    transform = np.where(
+        np.asarray(merged, dtype=bool), core.merger.cycles_for_batch(sizes), 0
+    )
+    if write_sparse:
+        write_bytes = 12 * out_nnz
+        transform = transform + core.d2s.cycles_for_batch(sizes)
+    else:
+        write_bytes = 4 * sizes
+    return profile, transform, write_bytes
 
 
 def _matmul(x: MatrixLike, y: MatrixLike) -> np.ndarray:

@@ -33,6 +33,19 @@ def gemm_compute_cycles(m: int, n: int, d: int, config: AcceleratorConfig) -> in
     return tiles * (n + 2 * p)
 
 
+def gemm_compute_cycles_batch(
+    m: np.ndarray, n: np.ndarray, d: np.ndarray, config: AcceleratorConfig
+) -> np.ndarray:
+    """Vectorised :func:`gemm_compute_cycles` over aligned int arrays."""
+    m = np.asarray(m, dtype=np.int64)
+    n = np.asarray(n, dtype=np.int64)
+    d = np.asarray(d, dtype=np.int64)
+    p = config.psys
+    tiles = -(m // -p) * -(d // -p)
+    cycles = tiles * (n + 2 * p)
+    return np.where((m == 0) | (n == 0) | (d == 0), 0, cycles)
+
+
 def run_gemm(
     x: MatrixLike, y: MatrixLike, config: AcceleratorConfig
 ) -> tuple[np.ndarray, CycleReport]:

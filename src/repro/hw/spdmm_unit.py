@@ -46,6 +46,22 @@ def spdmm_compute_cycles(
     return max(mac_bound, fetch_bound) + config.pipeline_depth
 
 
+def spdmm_compute_cycles_batch(
+    nnz_sparse: np.ndarray, dense_cols: np.ndarray, config: AcceleratorConfig
+) -> np.ndarray:
+    """Vectorised :func:`spdmm_compute_cycles` over aligned int arrays.
+
+    Replicates the scalar path's float division + ceil bit for bit.
+    """
+    nnz = np.asarray(nnz_sparse, dtype=np.int64)
+    d = np.asarray(dense_cols, dtype=np.int64)
+    p = config.psys
+    mac_bound = np.ceil(nnz * d / (p * p / 2)).astype(np.int64)
+    fetch_bound = np.ceil(nnz / (p / 2)).astype(np.int64)
+    cycles = np.maximum(mac_bound, fetch_bound) + config.pipeline_depth
+    return np.where((nnz == 0) | (d == 0), 0, cycles)
+
+
 def run_spdmm(
     sparse: MatrixLike, dense: MatrixLike, config: AcceleratorConfig
 ) -> tuple[np.ndarray, CycleReport]:

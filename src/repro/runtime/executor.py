@@ -37,8 +37,12 @@ from repro.hw.report import CODE_ORDER, SKIP_CODE, CycleReport, Primitive
 from repro.ir.kernel import KernelIR
 from repro.obs.tracer import NULL_TRACER
 from repro.runtime.scheduler import CoreTimeline
-from repro.runtime.stats import KernelStats, total_primitive_counts
+from repro.runtime.stats import KernelStats, TaskLoopStats, total_primitive_counts
 from repro.runtime.strategies import MappingStrategy
+from repro.runtime.vectorized import (
+    execute_kernel_tasks_vectorised,
+    finalise_task_loop,
+)
 
 #: outputs larger than this (elements) are assembled sparsely — e.g. the
 #: 65k x 61k hop outputs of SGC on NELL never materialise densely
@@ -274,21 +278,70 @@ class KernelAssembly:
         return out_mat, density
 
 
-@dataclass
-class TaskLoopStats:
-    """Accounting one :func:`execute_kernel_tasks` call accumulates."""
-
-    report: CycleReport = field(default_factory=CycleReport)
-    counts: Counter = field(default_factory=Counter)
-    num_pairs: int = 0
-    #: tasks actually dispatched to a core (all-zero partitions skip)
-    tasks_executed: int = 0
-    #: scheduling waves the tasks filled: the maximum number of tasks any
-    #: one core ran, i.e. how many core-rounds the kernel needed
-    waves: int = 0
-
-
 def execute_kernel_tasks(
+    kernel: KernelIR,
+    xv: PartitionedMatrix,
+    yv: PartitionedMatrix,
+    x_stored_sparse: bool,
+    y_stored_sparse: bool,
+    accelerator: Accelerator,
+    strategy: MappingStrategy,
+    timeline: CoreTimeline,
+    tasks: list,
+    assembly: "KernelAssembly",
+    acc_view: Optional[PartitionedMatrix],
+    act,
+    *,
+    tracer=NULL_TRACER,
+    track: str = "dev0",
+    balance: str = "fifo",
+    task_batch=None,
+    vectorised: bool = True,
+) -> TaskLoopStats:
+    """Execute a subset of one kernel's tasks on one accelerator.
+
+    The inner loop of the runtime (Analyzer batch decisions -> Scheduler
+    core assignment -> core execution -> output write-back), shared by
+    the single-device :class:`RuntimeSystem` and the multi-device
+    :class:`~repro.shard.executor.ShardedRuntime` — which is what makes
+    sharded outputs bit-exact against single-device runs.
+
+    By default this dispatches to the vectorised structure-of-arrays
+    pass (:func:`~repro.runtime.vectorized.execute_kernel_tasks_vectorised`),
+    which is bit-exact against :func:`execute_kernel_tasks_reference` —
+    same outputs, CycleReport totals, primitive counts, wave counts and
+    timeline events.  ``vectorised=False`` forces the per-task reference
+    loop (the oracle the tests and benches compare against).
+
+    ``balance`` selects core assignment: ``"fifo"`` is Algorithm 8's
+    earliest-available dispatch in task order (the reference semantics);
+    ``"sorted"`` opts into duration-sorted count-capped wave filling,
+    which never needs more waves than FIFO.  ``task_batch`` optionally
+    supplies the precomputed :class:`~repro.ir.scheme.TaskBatch` SoA
+    (cached on the execution scheme) so the vectorised path skips
+    rebuilding index arrays per call.
+
+    When a partition pair would overflow the on-chip buffers, the
+    vectorised pass backs out before touching any state and the
+    reference loop runs instead (raising the historical
+    ``BufferOverflowError`` mid-execution, exactly as before).
+    """
+    if vectorised:
+        stats = execute_kernel_tasks_vectorised(
+            kernel, xv, yv, x_stored_sparse, y_stored_sparse,
+            accelerator, strategy, timeline, tasks, assembly, acc_view, act,
+            tracer=tracer, track=track, balance=balance, task_batch=task_batch,
+        )
+        if stats is not None:
+            return stats
+    return execute_kernel_tasks_reference(
+        kernel, xv, yv, x_stored_sparse, y_stored_sparse,
+        accelerator, strategy, timeline, tasks, assembly, acc_view, act,
+        tracer=tracer, track=track,
+    )
+
+
+def execute_kernel_tasks_reference(
     kernel: KernelIR,
     xv: PartitionedMatrix,
     yv: PartitionedMatrix,
@@ -305,15 +358,14 @@ def execute_kernel_tasks(
     tracer=NULL_TRACER,
     track: str = "dev0",
 ) -> TaskLoopStats:
-    """Execute a subset of one kernel's tasks on one accelerator.
+    """The per-task reference loop: one Python iteration per task.
 
-    The inner loop of the runtime (Analyzer batch decisions -> Scheduler
-    core assignment -> core execution -> output write-back), factored out
-    so the single-device :class:`RuntimeSystem` and the multi-device
-    :class:`~repro.shard.executor.ShardedRuntime` run the *same* code —
-    which is what makes sharded outputs bit-exact against single-device
-    runs.  ``tasks`` may be any subset of the kernel's task grid; writes
-    land in the shared ``assembly``.
+    Kept as the bit-exactness oracle for the vectorised pass (the
+    ``block_nnz_grid_reference`` pattern): tests and the
+    ``bench_executor_vectorised`` BenchSpec assert the two produce
+    identical outputs, cycle totals, primitive counts, wave counts and
+    timeline events.  ``tasks`` may be any subset of the kernel's task
+    grid; writes land in the shared ``assembly``.
 
     ``tracer``/``track`` emit per-wave and per-task spans *after* the
     loop, from the timeline events it already records — the inner loop
@@ -333,8 +385,27 @@ def execute_kernel_tasks(
     x_cs = xv.col_block_sizes
     y_cs = yv.col_block_sizes
 
-    # only as many cores stream from DDR as there are concurrent tasks
-    concurrency = min(acc.num_cores, len(tasks))
+    # only as many cores stream from DDR as there are concurrently
+    # *dispatched* tasks — all-zero output partitions never reach a core,
+    # so they must not inflate the bandwidth shares (decide_batch is
+    # side-effect-free, so this pre-pass is safe to run twice)
+    if acc_view is not None:
+        dispatched = len(tasks)
+    else:
+        dispatched = 0
+        for task in tasks:
+            i, k = task.out_row, task.out_col
+            js = np.fromiter(
+                (p[0] for p in task.pairs), dtype=np.int64,
+                count=len(task.pairs),
+            )
+            codes, _ = strategy.decide_batch(
+                kernel, x_dens[i, js], y_dens[js, k],
+                int(x_rs[i]), x_cs[js], int(y_cs[k]),
+            )
+            if (np.asarray(codes) != SKIP_CODE).any():
+                dispatched += 1
+    concurrency = min(acc.num_cores, dispatched)
     for core in acc.cores:
         core.active_cores = concurrency
 
@@ -421,39 +492,9 @@ def execute_kernel_tasks(
         assembly.total_out_nnz += result.output_nnz
         assembly.write(i, k, m, d, result.z)
 
-    executed = timeline.events[events_before:]
-    stats.tasks_executed = len(executed)
-    if executed:
-        per_core: Counter = Counter()
-        wave_of = []
-        for ev in executed:
-            wave_of.append(per_core[ev.core])
-            per_core[ev.core] += 1
-        stats.waves = max(per_core.values())
-        if tracer.enabled:
-            cfg = acc.config
-            for w in range(stats.waves):
-                members = [
-                    ev for ev, wv in zip(executed, wave_of) if wv == w
-                ]
-                tracer.span(
-                    track,
-                    f"{kernel.kernel_id}/wave{w}",
-                    cfg.cycles_to_seconds(min(ev.start for ev in members)),
-                    cfg.cycles_to_seconds(max(ev.end for ev in members)),
-                    cat="wave",
-                    tasks=len(members),
-                )
-            if tracer.task_spans:
-                for ev in executed:
-                    tracer.span(
-                        f"{track}/core{ev.core}",
-                        f"{kernel.kernel_id}[{ev.task_index}]",
-                        cfg.cycles_to_seconds(ev.start),
-                        cfg.cycles_to_seconds(ev.end),
-                        cat="task",
-                    )
-    return stats
+    return finalise_task_loop(
+        stats, kernel, acc, timeline, events_before, tracer, track
+    )
 
 
 def exposed_analysis_cycles(
@@ -489,13 +530,21 @@ class RuntimeSystem:
         *,
         tracer=NULL_TRACER,
         track: str = "dev0",
+        balance: str = "fifo",
+        vectorised: bool = True,
     ) -> None:
         if accelerator.config.psys != strategy.config.psys:
             raise ValueError("strategy and accelerator configs disagree")
+        if balance not in ("fifo", "sorted"):
+            raise ValueError(
+                f"unknown balance mode {balance!r}; use 'fifo' or 'sorted'"
+            )
         self.accelerator = accelerator
         self.strategy = strategy
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.track = track
+        self.balance = balance
+        self.vectorised = vectorised
 
     # -- public API ------------------------------------------------------
     def run(self, program: CompiledProgram) -> InferenceResult:
@@ -624,6 +673,8 @@ class RuntimeSystem:
             kernel, xv, yv, x_stored_sparse, y_stored_sparse,
             acc, self.strategy, timeline, scheme.tasks(), assembly,
             acc_view, act, tracer=self.tracer, track=self.track,
+            balance=self.balance, task_batch=scheme.task_batch(),
+            vectorised=self.vectorised,
         )
         cycles = timeline.barrier()
 
@@ -721,10 +772,15 @@ def run_strategy(
     *,
     tracer=NULL_TRACER,
     track: str = "dev0",
+    balance: str = "fifo",
+    vectorised: bool = True,
 ) -> InferenceResult:
     """Convenience: run one program under one named strategy."""
     from repro.runtime.strategies import make_strategy
 
     acc = accelerator or Accelerator(program.config)
     strategy = make_strategy(strategy_name, acc.config)
-    return RuntimeSystem(acc, strategy, tracer=tracer, track=track).run(program)
+    return RuntimeSystem(
+        acc, strategy, tracer=tracer, track=track,
+        balance=balance, vectorised=vectorised,
+    ).run(program)

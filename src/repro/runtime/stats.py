@@ -9,12 +9,31 @@ load balance (the §VI-C eta ablation) and the per-kernel timeline.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.hw.report import Primitive
+from repro.hw.report import CycleReport, Primitive
 from repro.ir.kernel import KernelType
+
+
+@dataclass
+class TaskLoopStats:
+    """Accounting one ``execute_kernel_tasks`` call accumulates.
+
+    Lives here (not in :mod:`repro.runtime.executor`) so the reference
+    and vectorised task loops can share it without an import cycle; the
+    executor re-exports it for backwards compatibility.
+    """
+
+    report: CycleReport = field(default_factory=CycleReport)
+    counts: Counter = field(default_factory=Counter)
+    num_pairs: int = 0
+    #: tasks actually dispatched to a core (all-zero partitions skip)
+    tasks_executed: int = 0
+    #: scheduling waves the tasks filled: the maximum number of tasks any
+    #: one core ran, i.e. how many core-rounds the kernel needed
+    waves: int = 0
 
 
 @dataclass

@@ -53,9 +53,9 @@ class MappingStrategy(ABC):
         kernel: KernelIR,
         alpha_x: np.ndarray,
         alpha_y: np.ndarray,
-        m: int,
+        m: "int | np.ndarray",
         n: np.ndarray,
-        d: int,
+        d: "int | np.ndarray",
     ) -> tuple[np.ndarray, np.ndarray]:
         """Map all ``K`` pairs of one task at once.
 
@@ -64,8 +64,16 @@ class MappingStrategy(ABC):
         implementation delegates to :meth:`decide` pair by pair, so a
         strategy that only overrides the scalar method stays bit-exact;
         the built-in strategies override this with vectorised paths.
+
+        ``m``, ``n`` and ``d`` may each be a scalar or an array aligned
+        with ``alpha_x`` — the vectorised executor batches *all* pairs of
+        a kernel in one call, so the output-partition dims vary across
+        the batch.
         """
         k = len(alpha_x)
+        m_b = np.broadcast_to(np.asarray(m), (k,))
+        n_b = np.broadcast_to(np.asarray(n), (k,))
+        d_b = np.broadcast_to(np.asarray(d), (k,))
         codes = np.empty(k, dtype=np.int8)
         transposed = np.zeros(k, dtype=bool)
         for idx in range(k):
@@ -74,9 +82,9 @@ class MappingStrategy(ABC):
                 PairInfo(
                     alpha_x=float(alpha_x[idx]),
                     alpha_y=float(alpha_y[idx]),
-                    m=m,
-                    n=int(n[idx]),
-                    d=d,
+                    m=int(m_b[idx]),
+                    n=int(n_b[idx]),
+                    d=int(d_b[idx]),
                 ),
             )
             codes[idx] = PRIMITIVE_CODES[dec.primitive]

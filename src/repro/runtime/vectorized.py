@@ -1,0 +1,460 @@
+"""Vectorised whole-layer task execution (structure-of-arrays inner loop).
+
+The reference runtime (``execute_kernel_tasks_reference``) walks one
+Python iteration per task and one :class:`OperandSpec` pair per inner
+block — the dominant simulator cost on large graphs.  This module runs
+the same semantics as four batched passes over the whole kernel:
+
+1. **Decide + account** — one ``strategy.decide_batch`` call over every
+   (task, pair) of the kernel, followed by batched byte/nnz/density
+   arithmetic, the SPMM->SpDMM capacity degrade, skip masking, the
+   dispatched-task concurrency count, and per-pair compute/transform
+   cycle arrays via the batched unit formulas in :mod:`repro.hw`.
+2. **Functional** — per executed task (original order, preserving the
+   float32 accumulation order and assembly write order bit for bit), the
+   partition products through CSR-native fast paths
+   (:meth:`PartitionedMatrix.csr_blocks_for_row` + direct
+   ``csr_matvecs``), plus the data-dependent SPMM cycle counts.
+3. **Write-back accounting** — batched profiler/merger/D2S cycles and
+   task latencies (sequential float reductions via ``np.add.at`` /
+   ``np.add.accumulate`` so kernel totals match the reference's
+   accumulation order exactly).
+4. **Dispatch** — the only remaining sequential part: Algorithm 8's
+   earliest-available core choice and the per-core mode-switch state
+   machine.  ``balance="sorted"`` opts into CSR-style duration-sorted,
+   count-capped wave filling, which provably never needs more waves than
+   FIFO dispatch (pigeonhole: its per-core cap is ``ceil(E / cores)``,
+   a lower bound on the FIFO maximum).
+
+Bit-exactness against the reference loop — outputs, CycleReport totals,
+primitive counts, wave counts and the timeline event set — is asserted
+by ``tests/test_executor_vectorised.py`` and the
+``bench_executor_vectorised`` BenchSpec.  When a pair would overflow the
+on-chip buffers the function returns ``None`` *before any state
+mutation* and the caller falls back to the reference loop (which raises
+the exact historical error).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.formats.dense import DTYPE
+from repro.hw.core import _matmul, batch_pair_cycles, batch_task_writeback
+from repro.hw.report import (
+    CODE_ORDER,
+    PRIMITIVE_CODES,
+    SKIP_CODE,
+    SPDMM_CODE,
+    SPMM_CODE,
+    GEMM_CODE,
+)
+from repro.hw.spmm_unit import spmm_compute_cycles
+from repro.ir.scheme import TaskBatch
+from repro.obs.tracer import NULL_TRACER
+from repro.runtime.scheduler import wave_fill_schedule
+from repro.runtime.stats import TaskLoopStats
+
+try:  # direct sparsetools entry: skips scipy's per-call dispatch overhead
+    from scipy.sparse import _sparsetools as _spt
+
+    _CSR_MATVECS = getattr(_spt, "csr_matvecs", None)
+except Exception:  # pragma: no cover - exotic scipy builds
+    _CSR_MATVECS = None
+
+__all__ = [
+    "execute_kernel_tasks_vectorised",
+    "finalise_task_loop",
+]
+
+
+def finalise_task_loop(
+    stats: TaskLoopStats,
+    kernel,
+    accelerator,
+    timeline,
+    events_before: int,
+    tracer,
+    track: str,
+) -> TaskLoopStats:
+    """Shared post-loop bookkeeping: wave counts + wave/task trace spans.
+
+    Both executor paths derive waves and spans from the timeline events
+    they just booked, so tracing cannot perturb bit-exactness.
+    """
+    executed = timeline.events[events_before:]
+    stats.tasks_executed = len(executed)
+    if not executed:
+        return stats
+    per_core: dict[int, int] = {}
+    wave_of = []
+    for ev in executed:
+        wave_of.append(per_core.get(ev.core, 0))
+        per_core[ev.core] = per_core.get(ev.core, 0) + 1
+    stats.waves = max(per_core.values())
+    if tracer.enabled:
+        cfg = accelerator.config
+        for w in range(stats.waves):
+            members = [ev for ev, wv in zip(executed, wave_of) if wv == w]
+            tracer.span(
+                track,
+                f"{kernel.kernel_id}/wave{w}",
+                cfg.cycles_to_seconds(min(ev.start for ev in members)),
+                cfg.cycles_to_seconds(max(ev.end for ev in members)),
+                cat="wave",
+                tasks=len(members),
+            )
+        if tracer.task_spans:
+            for ev in executed:
+                tracer.span(
+                    f"{track}/core{ev.core}",
+                    f"{kernel.kernel_id}[{ev.task_index}]",
+                    cfg.cycles_to_seconds(ev.start),
+                    cfg.cycles_to_seconds(ev.end),
+                    cat="task",
+                )
+    return stats
+
+
+def execute_kernel_tasks_vectorised(
+    kernel,
+    xv,
+    yv,
+    x_stored_sparse: bool,
+    y_stored_sparse: bool,
+    accelerator,
+    strategy,
+    timeline,
+    tasks: list,
+    assembly,
+    acc_view,
+    act,
+    *,
+    tracer=NULL_TRACER,
+    track: str = "dev0",
+    balance: str = "fifo",
+    task_batch: Optional[TaskBatch] = None,
+) -> Optional[TaskLoopStats]:
+    """Vectorised twin of ``execute_kernel_tasks_reference``.
+
+    Returns ``None`` (without mutating any accelerator, timeline, ledger
+    or assembly state) when a pair would overflow the on-chip buffers —
+    the caller then re-runs the reference loop, which raises the
+    historical :class:`~repro.hw.buffers.BufferOverflowError`.
+    """
+    if balance not in ("fifo", "sorted"):
+        raise ValueError(f"unknown balance mode {balance!r}")
+    acc = accelerator
+    cfg = acc.config
+    soft = acc.soft_processor
+    mem = acc.memory
+    stats = TaskLoopStats()
+    events_before = len(timeline.events)
+
+    t_count = len(tasks)
+    if t_count == 0:
+        for core in acc.cores:
+            core.active_cores = 0
+        return finalise_task_loop(
+            stats, kernel, acc, timeline, events_before, tracer, track
+        )
+
+    batch = task_batch if task_batch is not None else TaskBatch.from_tasks(tasks)
+    rows = batch.rows
+    cols = batch.cols
+    js = batch.js
+    counts = batch.counts
+    p_count = batch.num_pairs
+    tix = np.repeat(np.arange(t_count, dtype=np.int64), counts)
+
+    x_rs = xv.row_block_sizes
+    x_cs = xv.col_block_sizes
+    y_cs = yv.col_block_sizes
+    m_t = x_rs[rows].astype(np.int64)
+    d_t = y_cs[cols].astype(np.int64)
+
+    i_p = rows[tix]
+    k_p = cols[tix]
+    m_p = m_t[tix]
+    d_p = d_t[tix]
+    n_p = x_cs[js].astype(np.int64)
+    ax = xv.density_grid[i_p, js]
+    ay = yv.density_grid[js, k_p]
+    x_nnz_p = xv._nnz_grid[i_p, js].astype(np.int64)
+    y_nnz_p = yv._nnz_grid[js, k_p].astype(np.int64)
+
+    # ---- phase 1: one whole-kernel Analyzer pass + cycle accounting ----
+    codes, transp = strategy.decide_batch(kernel, ax, ay, m_p, n_p, d_p)
+    codes = np.array(codes, copy=True)
+    transp = np.asarray(transp, dtype=bool)
+
+    # SPMM capacity degrade (Y must be COO-resident; see reference loop)
+    words_u = acc.cores[0].buffers.buffer_u.words
+    degrade = (codes == SPMM_CODE) & (3 * y_nnz_p > words_u)
+    if degrade.any():
+        codes[degrade] = SPDMM_CODE
+        transp[degrade] = False
+
+    live = codes != SKIP_CODE
+    elems_x = m_p * n_p
+    elems_y = n_p * d_p
+    # capacity pre-check mirroring execute_pair; any violation -> fall
+    # back to the reference loop before any state is touched
+    viol = (codes == GEMM_CODE) & ((elems_x > words_u) | (elems_y > words_u))
+    spdmm_m = codes == SPDMM_CODE
+    viol |= spdmm_m & (np.where(transp, elems_x, elems_y) > words_u)
+    viol |= (codes == SPMM_CODE) & (3 * y_nnz_p > words_u)
+    if viol.any():
+        return None
+
+    lp = np.flatnonzero(live)
+    lt = tix[lp]
+    live_count_t = np.bincount(lt, minlength=t_count)
+    if acc_view is not None:
+        executed_t = np.ones(t_count, dtype=bool)
+    else:
+        executed_t = live_count_t > 0
+    dispatched = int(executed_t.sum())
+
+    # the bugfix the reference loop mirrors: bandwidth shares come from
+    # tasks actually dispatched, not the pre-skip task count
+    concurrency = min(acc.num_cores, dispatched)
+    for core in acc.cores:
+        core.active_cores = concurrency
+    per_core_bpc = mem.per_core_bytes_per_cycle(concurrency)
+
+    core0 = acc.cores[0]
+    comp_p, tr_p, macs_p = batch_pair_cycles(
+        core0, codes, transp, m_p, n_p, d_p, x_nnz_p, y_nnz_p,
+        x_stored_sparse, y_stored_sparse,
+    )
+    xb_p = 12 * x_nnz_p if x_stored_sparse else 4 * elems_x
+    yb_p = 12 * y_nnz_p if y_stored_sparse else 4 * elems_y
+    read_bytes_p = np.where(live, xb_p + yb_p, 0)
+    read_cyc_p = read_bytes_p / per_core_bpc
+
+    # per-core mode-switch state machine, split into the assignment-free
+    # part (switches *within* a task) and the boundary switch resolved at
+    # dispatch time
+    lc = codes[lp].astype(np.int64)
+    internal_t = np.zeros(t_count, dtype=np.int64)
+    first_code_t = np.full(t_count, -1, dtype=np.int64)
+    last_code_t = np.full(t_count, -1, dtype=np.int64)
+    if lp.size:
+        is_first = np.empty(lp.size, dtype=bool)
+        is_first[0] = True
+        is_first[1:] = lt[1:] != lt[:-1]
+        is_last = np.empty(lp.size, dtype=bool)
+        is_last[-1] = True
+        is_last[:-1] = is_first[1:]
+        first_code_t[lt[is_first]] = lc[is_first]
+        last_code_t[lt[is_last]] = lc[is_last]
+        sw_pos = (~is_first[1:]) & (lc[1:] != lc[:-1])
+        internal_t = np.bincount(
+            lt[1:][sw_pos], minlength=t_count
+        ).astype(np.int64)
+    merged_t = np.zeros(t_count, dtype=bool)
+    if lp.size:
+        tl = lp[transp[lp]]
+        if tl.size:
+            merged_t[np.unique(tix[tl])] = True
+
+    # ---- phase 2: functional pass (original task order) ----------------
+    x_sparse = xv.is_sparse_storage
+    y_sparse = yv.is_sparse_storage
+    out_nnz_t = np.zeros(t_count, dtype=np.int64)
+    exec_idx = np.flatnonzero(executed_t)
+    # per-task live-pair segment boundaries in one pass (lt is sorted)
+    seg_lo = np.searchsorted(lt, exec_idx, "left")
+    seg_hi = np.searchsorted(lt, exec_idx, "right")
+    x_row_blocks = None
+    x_row_blocks_i = -1
+    # dense operand blocks are views reused across the task grid (every
+    # output column revisits y(j, k); every output row revisits x(i, j))
+    # — memoising them drops ~1/3 of the per-pair Python overhead.  The
+    # flattened copy of y is what csr_matvecs consumes; caching it too
+    # avoids re-ravelling non-contiguous views pair after pair.
+    x_dense_cache: dict = {}
+    y_dense_cache: dict = {}
+    #: reusable accumulation target of csr_matvecs — refilled with zeros
+    #: before every product, so the bits match a fresh allocation
+    scratch: dict = {}
+    fast_spmv = x_sparse and not y_sparse and _CSR_MATVECS is not None
+    for seg in range(exec_idx.shape[0]):
+        t = int(exec_idx[seg])
+        i = int(rows[t])
+        k = int(cols[t])
+        m = int(m_t[t])
+        d = int(d_t[t])
+        if acc_view is not None:
+            z = np.array(acc_view.dense_block(i, k), dtype=DTYPE, copy=True)
+        else:
+            z = np.zeros((m, d), dtype=DTYPE)
+        row_part = z
+        col_part = None
+        s = int(seg_lo[seg])
+        e = int(seg_hi[seg])
+        if s != e and x_sparse and x_row_blocks_i != i:
+            x_row_blocks = xv.csr_blocks_for_row(i)
+            x_row_blocks_i = i
+        for q in range(s, e):
+            p = int(lp[q])
+            j = int(js[p])
+            if x_sparse:
+                xblk = x_row_blocks[j]
+            else:
+                xblk = x_dense_cache.get((i, j))
+                if xblk is None:
+                    xblk = xv.block(i, j)
+                    x_dense_cache[(i, j)] = xblk
+            if y_sparse:
+                yblk = yv.csr_blocks_for_row(j)[k]
+                y_flat = None
+            else:
+                cached = y_dense_cache.get((j, k))
+                if cached is None:
+                    yblk = yv.block(j, k)
+                    y_flat = yblk.ravel()
+                    y_dense_cache[(j, k)] = (yblk, y_flat)
+                else:
+                    yblk, y_flat = cached
+            if codes[p] == SPMM_CODE:
+                cyc, mc = spmm_compute_cycles(xblk, yblk, cfg)
+                comp_p[p] = cyc
+                macs_p[p] = mc
+            if fast_spmv:
+                out = scratch.get((m, d))
+                if out is None:
+                    out = np.empty((m, d), dtype=DTYPE)
+                    scratch[(m, d)] = out
+                out.fill(0)
+                _CSR_MATVECS(
+                    m, xblk.shape[1], d,
+                    xblk.indptr, xblk.indices, xblk.data,
+                    y_flat, out.ravel(),
+                )
+                partial = out
+            else:
+                partial = _matmul(xblk, yblk)
+            if transp[p]:
+                if col_part is None:
+                    col_part = np.zeros((m, d), dtype=DTYPE)
+                col_part += partial
+            else:
+                row_part += partial
+        z = row_part if col_part is None else row_part + col_part
+        if act is not None:
+            z = np.asarray(act(z), dtype=DTYPE)
+        nnz = int(np.count_nonzero(z))
+        out_nnz_t[t] = nnz
+        assembly.total_out_nnz += nnz
+        assembly.write(i, k, m, d, z)
+
+    # ---- phase 3: write-back accounting + task latencies ---------------
+    size_t = m_t * d_t
+    write_sparse = not assembly.dense_assembly
+    profile_t, wb_tr_t, write_bytes_t = batch_task_writeback(
+        core0, size_t, out_nnz_t, write_sparse, merged_t
+    )
+    profile_t = np.where(executed_t, profile_t, 0)
+    wb_tr_t = np.where(executed_t, wb_tr_t, 0)
+    write_bytes_t = np.where(executed_t, write_bytes_t, 0)
+
+    comp_t = np.zeros(t_count, dtype=np.int64)
+    trans_t = np.zeros(t_count, dtype=np.int64)
+    macs_t = np.zeros(t_count, dtype=np.int64)
+    read_bytes_t = np.zeros(t_count, dtype=np.int64)
+    mem_t = np.zeros(t_count, dtype=np.float64)
+    if lp.size:
+        np.add.at(comp_t, lt, comp_p[lp])
+        np.add.at(trans_t, lt, tr_p[lp])
+        np.add.at(macs_t, lt, macs_p[lp])
+        np.add.at(read_bytes_t, lt, read_bytes_p[lp])
+        # np.add.at is a strictly sequential scatter-add, so per-task
+        # float sums replicate the reference's pair-order accumulation
+        np.add.at(mem_t, lt, read_cyc_p[lp])
+    trans_t = trans_t + wb_tr_t
+    mem_t = mem_t + write_bytes_t / per_core_bpc
+
+    double_buffering = cfg.buffers.double_buffering
+    if double_buffering:
+        base_t = np.maximum(comp_t.astype(np.float64), mem_t + trans_t)
+    else:
+        base_t = comp_t + mem_t + trans_t + profile_t
+
+    # ---- phase 4: dispatch (Algorithm 8) -------------------------------
+    msc = cfg.mode_switch_cycles
+    last_codes = np.array(
+        [
+            PRIMITIVE_CODES[c._last_primitive]
+            if c._last_primitive is not None
+            else -1
+            for c in acc.cores
+        ],
+        dtype=np.int64,
+    )
+    if balance == "sorted" and exec_idx.size:
+        est = base_t[exec_idx] + internal_t[exec_idx] * msc
+        order_pos, chosen_cores = wave_fill_schedule(
+            est, timeline.available.copy()
+        )
+        dispatch_order = exec_idx[order_pos]
+    else:
+        dispatch_order = exec_idx
+        chosen_cores = None
+    total_switches = 0
+    for pos, t in enumerate(dispatch_order):
+        t = int(t)
+        core_id = (
+            int(chosen_cores[pos])
+            if chosen_cores is not None
+            else timeline.peek_next_core()
+        )
+        fc = int(first_code_t[t])
+        bsw = (
+            1
+            if fc >= 0 and last_codes[core_id] >= 0 and fc != last_codes[core_id]
+            else 0
+        )
+        sw = int(internal_t[t]) + bsw
+        latency = float(base_t[t]) + sw * msc
+        dispatch_s = soft.dispatch_seconds(1) + soft.sparsity_receive_seconds(1)
+        duration = latency + soft.seconds_to_accel_cycles(dispatch_s)
+        timeline.assign_to(
+            core_id, duration, kernel_id=kernel.kernel_id, task_index=t
+        )
+        if fc >= 0:
+            last_codes[core_id] = last_code_t[t]
+        total_switches += sw
+    for core_id, core in enumerate(acc.cores):
+        code = int(last_codes[core_id])
+        core._last_primitive = CODE_ORDER[code] if code >= 0 else None
+
+    # ---- kernel-level totals -------------------------------------------
+    mem.ledger.bytes_read += int(read_bytes_t.sum())
+    mem.ledger.bytes_written += int(write_bytes_t.sum())
+
+    stats.num_pairs = p_count
+    code_counts = np.bincount(codes.astype(np.int64), minlength=len(CODE_ORDER))
+    for code_val, c in enumerate(code_counts):
+        if c:
+            stats.counts[CODE_ORDER[code_val]] += int(c)
+
+    rep = stats.report
+    rep.compute = float(comp_t[executed_t].sum())
+    exec_mem = mem_t[executed_t]
+    # kernel totals merge per-task reports sequentially in task order;
+    # np.add.accumulate is a strictly sequential scan, matching that
+    rep.memory = float(np.add.accumulate(exec_mem)[-1]) if exec_mem.size else 0.0
+    rep.transform = float(trans_t[executed_t].sum())
+    rep.profile = float(profile_t[executed_t].sum())
+    rep.macs = int(macs_t[executed_t].sum())
+    rep.bytes_read = int(read_bytes_t.sum())
+    rep.bytes_written = int(write_bytes_t.sum())
+    rep.mode_switches = int(total_switches)
+
+    return finalise_task_loop(
+        stats, kernel, acc, timeline, events_before, tracer, track
+    )

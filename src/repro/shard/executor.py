@@ -267,6 +267,8 @@ class ShardedRuntime:
         book_on_pool: bool = True,
         tracer=NULL_TRACER,
         on_layer=None,
+        balance: str = "fifo",
+        vectorised: bool = True,
     ) -> None:
         if plan.num_shards > pool.num_devices:
             raise ValueError(
@@ -280,6 +282,8 @@ class ShardedRuntime:
         self.strategy = strategy
         self.plan = plan
         self.book_on_pool = book_on_pool
+        self.balance = balance
+        self.vectorised = vectorised
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: optional layer-boundary admission hook: called as
         #: ``on_layer(kernel_id, layer_index, t_start_s, barrier_s)``
@@ -366,6 +370,7 @@ class ShardedRuntime:
             )
             assembly = KernelAssembly.for_kernel(xv, yv, scheme)
             all_tasks = scheme.tasks()
+            full_batch = scheme.task_batch()
             out_br = scheme.out_blocking[0]
 
             if kernel.ktype is KernelType.AGGREGATE:
@@ -391,7 +396,11 @@ class ShardedRuntime:
                 stats = execute_kernel_tasks(
                     kernel, xv, yv, x_stored_sparse, y_stored_sparse,
                     acc, self.strategy, timelines[s], tasks, assembly,
-                    acc_view, act,
+                    acc_view, act, balance=self.balance,
+                    vectorised=self.vectorised,
+                    task_batch=full_batch.subset(
+                        (full_batch.rows >= lo) & (full_batch.rows < hi)
+                    ),
                 )
                 cycles[s] = timelines[s].barrier()
                 analysis_s = (

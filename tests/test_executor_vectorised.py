@@ -1,0 +1,427 @@
+"""The vectorised task loop vs the per-task reference loop.
+
+The whole-layer structure-of-arrays pass of
+:mod:`repro.runtime.vectorized` is only admissible because it is
+*bit-exact* against :func:`~repro.runtime.executor
+.execute_kernel_tasks_reference`: same outputs, CycleReport totals,
+primitive counts, wave counts and timeline events.  These tests pin that
+contract across models, strategies, datasets and sharding, plus the
+supporting machinery (TaskBatch SoA, stripe block splitting, the
+count-capped sorted balancer) and the active-core accounting bugfix the
+vectorised rewrite surfaced.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import Compiler
+from repro.datasets import load_dataset
+from repro.datasets.catalog import DatasetSpec, GraphData
+from repro.formats.dense import DTYPE
+from repro.formats.partition import PartitionedMatrix
+from repro.gnn import build_model, init_weights
+from repro.hw import Accelerator
+from repro.hw.report import CycleReport
+from repro.ir.scheme import TaskBatch
+from repro.runtime import (
+    CoreTimeline,
+    execute_kernel_tasks,
+    execute_kernel_tasks_reference,
+    execute_kernel_tasks_vectorised,
+    make_strategy,
+    wave_fill_schedule,
+)
+from repro.runtime.executor import KernelAssembly, run_strategy
+
+from conftest import make_tiny_config
+
+
+def _dense(o):
+    return o.toarray() if sp.issparse(o) else np.asarray(o)
+
+
+def _events(result):
+    return [
+        (e.core, e.start, e.end, e.kernel_id, e.task_index)
+        for e in result.timeline_events
+    ]
+
+
+def assert_results_identical(rv, rr):
+    """Bit-exact equality of two InferenceResults (no tolerances)."""
+    np.testing.assert_array_equal(_dense(rv.output), _dense(rr.output))
+    assert rv.accel_cycles == rr.accel_cycles
+    assert rv.exposed_overhead_cycles == rr.exposed_overhead_cycles
+    assert rv.runtime_overhead_seconds == rr.runtime_overhead_seconds
+    assert _events(rv) == _events(rr)
+    for kv, kr in zip(rv.kernel_stats, rr.kernel_stats):
+        for f in (
+            "cycles", "macs", "bytes_read", "bytes_written",
+            "compute_cycles", "memory_cycles", "transform_cycles",
+            "profile_cycles", "out_density", "analysis_seconds",
+            "num_waves", "tasks_executed", "num_pairs",
+        ):
+            assert getattr(kv, f) == getattr(kr, f), (kv.kernel_id, f)
+        assert kv.primitive_counts == kr.primitive_counts
+        np.testing.assert_array_equal(kv.core_busy, kr.core_busy)
+
+
+def zero_slab_data(num_vertices=64, num_features=24, seed=0):
+    """A graph whose adjacency has an all-zero row slab (vertices 16..47)
+    wider than the partition size, so whole output partitions of the
+    Aggregate kernel carry no work and the runtime skips their tasks."""
+    rng = np.random.default_rng(seed)
+    a = sp.random(
+        num_vertices, num_vertices, density=0.15, format="lil",
+        dtype=np.float32, rng=rng,
+    )
+    a[16:48, :] = 0
+    a = a.tocsr()
+    a.data = rng.uniform(0.5, 1.5, a.data.shape).astype(np.float32)
+    a.eliminate_zeros()
+    h0 = rng.uniform(-1, 1, size=(num_vertices, num_features)).astype(DTYPE)
+    spec = DatasetSpec(
+        "ZS", "ZeroSlab", num_vertices, int(a.nnz), num_features,
+        4, 0.1, 1.0, 8, False,
+    )
+    return GraphData(name="ZS", a=a, h0=h0, spec=spec, scale=1.0, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def co_programs():
+    data = load_dataset("CO", scale=0.15, seed=3)
+    cfg = make_tiny_config()
+    out = {}
+    for model_name in ("GCN", "GIN"):
+        model = build_model(
+            model_name, data.num_features, data.hidden_dim, data.num_classes
+        )
+        weights = init_weights(model, seed=5)
+        out[model_name] = Compiler(cfg).compile(model, data, weights)
+    return out
+
+
+@pytest.fixture(scope="module")
+def zero_slab_program():
+    # GraphSAGE's mean aggregation (D^-1 A) adds no self-loops, so the
+    # zero row slab survives preprocessing and produces skipped tasks
+    data = zero_slab_data()
+    cfg = make_tiny_config()
+    model = build_model(
+        "GraphSAGE", data.num_features, data.hidden_dim, data.num_classes
+    )
+    weights = init_weights(model, seed=7)
+    return Compiler(cfg).compile(model, data, weights)
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("model_name", ["GCN", "GIN"])
+    @pytest.mark.parametrize(
+        "strategy", ["Dynamic", "S1", "S2", "Oracle", "Fixed-GEMM"]
+    )
+    def test_matches_reference(self, co_programs, model_name, strategy):
+        program = co_programs[model_name]
+        rv = run_strategy(program, strategy, vectorised=True)
+        rr = run_strategy(program, strategy, vectorised=False)
+        assert_results_identical(rv, rr)
+
+    def test_matches_reference_with_skipped_tasks(self, zero_slab_program):
+        rv = run_strategy(zero_slab_program, "Dynamic", vectorised=True)
+        rr = run_strategy(zero_slab_program, "Dynamic", vectorised=False)
+        assert_results_identical(rv, rr)
+        # the slab really does knock out whole tasks
+        assert any(
+            ks.tasks_executed < ks.num_tasks for ks in rv.kernel_stats
+        )
+
+    def test_sharded_matches_reference(self, co_programs):
+        from repro.engine.pool import AcceleratorPool
+        from repro.shard import ShardedRuntime, plan_shards
+
+        program = co_programs["GCN"]
+        cfg = program.config
+        plan = plan_shards(program, 2)
+        strategy = make_strategy("Dynamic", cfg)
+        rv = ShardedRuntime(
+            AcceleratorPool(cfg, 2), strategy, plan, vectorised=True
+        ).run(program)
+        rr = ShardedRuntime(
+            AcceleratorPool(cfg, 2), strategy, plan, vectorised=False
+        ).run(program)
+        np.testing.assert_array_equal(_dense(rv.output), _dense(rr.output))
+        assert rv.latency_s == rr.latency_s
+        for kv, kr in zip(rv.kernel_stats, rr.kernel_stats):
+            np.testing.assert_array_equal(kv.shard_cycles, kr.shard_cycles)
+            np.testing.assert_array_equal(kv.shard_seconds, kr.shard_seconds)
+
+
+def _loop_args(program, kernel, acc, tasks):
+    """Plumbing for a direct execute_kernel_tasks call on one kernel."""
+    scheme = kernel.exec_scheme
+    xv = program.view(kernel.x_name, *scheme.x_blocking)
+    yv = program.view(kernel.y_name, *scheme.y_blocking)
+    assembly = KernelAssembly.for_kernel(xv, yv, scheme)
+    timeline = CoreTimeline(acc.num_cores)
+    return (
+        kernel, xv, yv,
+        program.stored_sparse[kernel.x_name],
+        program.stored_sparse[kernel.y_name],
+        acc, make_strategy("Dynamic", acc.config), timeline,
+        tasks, assembly, None, None,
+    )
+
+
+def _first_input_kernel(program):
+    """The first kernel whose operands are both program inputs and that
+    carries no accumulate view (so it can run standalone)."""
+    for kernel in program.graph.topo_order():
+        if kernel.accumulate_into:
+            continue
+        return kernel
+    raise AssertionError("no standalone kernel in program")
+
+
+def _aggregate_kernel(program):
+    """The first Aggregate kernel (adjacency x input features)."""
+    from repro.ir.kernel import KernelType
+
+    for kernel in program.graph.topo_order():
+        if kernel.ktype is KernelType.AGGREGATE and not kernel.accumulate_into:
+            return kernel
+    raise AssertionError("no standalone aggregate kernel in program")
+
+
+class TestActiveCoreAccounting:
+    """Skipped (all-zero) partitions must not inflate the DDR share.
+
+    The reference loop historically set ``active_cores`` from
+    ``len(tasks)``; with whole output partitions skipped, fewer tasks
+    ever reach a core, so the per-core DDR bandwidth share was
+    understated.  Both paths now count *dispatched* tasks.
+    """
+
+    @pytest.mark.parametrize("vectorised", [True, False])
+    def test_active_cores_counts_dispatched_only(
+        self, zero_slab_program, vectorised
+    ):
+        program = zero_slab_program
+        kernel = _aggregate_kernel(program)
+        acc = Accelerator(program.config)
+        args = _loop_args(program, kernel, acc, kernel.exec_scheme.tasks())
+        stats = execute_kernel_tasks(*args, vectorised=vectorised)
+        assert stats.tasks_executed < len(kernel.exec_scheme.tasks())
+        expected = min(acc.num_cores, stats.tasks_executed)
+        for core in acc.cores:
+            assert core.active_cores == expected
+
+    def test_single_dispatched_task_gets_full_bandwidth(
+        self, zero_slab_program
+    ):
+        # slice the task grid down to one live task (plus the skipped
+        # ones): with only one task dispatched, it must see the whole
+        # DDR bandwidth even though len(tasks) > 1
+        program = zero_slab_program
+        kernel = _aggregate_kernel(program)
+        scheme = kernel.exec_scheme
+        acc = Accelerator(program.config)
+        all_tasks = scheme.tasks()
+        args = _loop_args(program, kernel, acc, all_tasks)
+        stats = execute_kernel_tasks(*args)
+        dispatched_rows = {
+            all_tasks[e.task_index].out_row
+            for e in args[7].events
+        }
+        live_row = min(dispatched_rows)
+        skipped_row = next(
+            t.out_row for t in all_tasks if t.out_row not in dispatched_rows
+        )
+        subset = [
+            t for t in all_tasks if t.out_row in (live_row, skipped_row)
+        ]
+        subset = [t for t in subset if t.out_col == all_tasks[0].out_col]
+        assert len(subset) == 2
+        acc2 = Accelerator(program.config)
+        args2 = _loop_args(program, kernel, acc2, subset)
+        stats2 = execute_kernel_tasks(*args2)
+        assert stats2.tasks_executed == 1
+        for core in acc2.cores:
+            assert core.active_cores == 1
+
+
+class TestTaskBatch:
+    def test_closed_form_matches_from_tasks(self, co_programs):
+        for kernel in co_programs["GCN"].graph.topo_order():
+            scheme = kernel.exec_scheme
+            got = scheme.task_batch()
+            want = TaskBatch.from_tasks(scheme.tasks())
+            np.testing.assert_array_equal(got.rows, want.rows)
+            np.testing.assert_array_equal(got.cols, want.cols)
+            np.testing.assert_array_equal(got.js, want.js)
+            np.testing.assert_array_equal(got.starts, want.starts)
+            assert got is scheme.task_batch()  # cached
+
+    def test_subset_matches_filtered_from_tasks(self, co_programs):
+        scheme = co_programs["GCN"].graph.topo_order()[0].exec_scheme
+        tasks = scheme.tasks()
+        batch = scheme.task_batch()
+        rng = np.random.default_rng(0)
+        mask = rng.random(len(tasks)) < 0.5
+        sub = batch.subset(mask)
+        want = TaskBatch.from_tasks(
+            [t for t, m in zip(tasks, mask) if m]
+        )
+        np.testing.assert_array_equal(sub.rows, want.rows)
+        np.testing.assert_array_equal(sub.cols, want.cols)
+        np.testing.assert_array_equal(sub.js, want.js)
+        np.testing.assert_array_equal(sub.starts, want.starts)
+
+
+class TestCsrBlocksForRow:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_blocks_bit_identical_to_block(self, seed):
+        rng = np.random.default_rng(seed)
+        m, n = 57, 43
+        mat = sp.random(m, n, density=0.2, format="csr", dtype=np.float32,
+                        rng=rng)
+        pm = PartitionedMatrix(mat, 16, 12)
+        for i in range(pm.num_row_blocks):
+            blocks = pm.csr_blocks_for_row(i)
+            assert len(blocks) == pm.num_col_blocks
+            for j, blk in enumerate(blocks):
+                ref = pm.block(i, j)
+                assert blk.shape == ref.shape
+                np.testing.assert_array_equal(blk.indptr, ref.indptr)
+                np.testing.assert_array_equal(blk.indices, ref.indices)
+                np.testing.assert_array_equal(blk.data, ref.data)
+
+    def test_dense_storage_rejected(self):
+        pm = PartitionedMatrix(np.ones((8, 8), dtype=DTYPE), 4, 4)
+        with pytest.raises(TypeError, match="sparse storage"):
+            pm.csr_blocks_for_row(0)
+
+    def test_cache_invalidated_by_structural_delta(self):
+        rng = np.random.default_rng(3)
+        mat = sp.random(32, 32, density=0.2, format="csr",
+                        dtype=np.float32, rng=rng)
+        pm = PartitionedMatrix(mat, 8, 8)
+        before = pm.csr_blocks_for_row(0)[0].toarray()
+        new = mat.tolil()
+        new[0, 0] = 2.5
+        added = np.array([[0, 0]]) if mat[0, 0] == 0 else np.empty((0, 2))
+        pm.apply_structural_delta(
+            new.tocsr(),
+            added_rows=added[:, 0].astype(np.int64),
+            added_cols=added[:, 1].astype(np.int64),
+            removed_rows=np.empty(0, dtype=np.int64),
+            removed_cols=np.empty(0, dtype=np.int64),
+        )
+        after = pm.csr_blocks_for_row(0)[0].toarray()
+        assert after[0, 0] == np.float32(2.5)
+        assert not np.array_equal(before, after)
+
+
+class TestDegenerateInputs:
+    def test_empty_task_list(self, co_programs):
+        program = co_programs["GCN"]
+        kernel = _first_input_kernel(program)
+        acc = Accelerator(program.config)
+        args = _loop_args(program, kernel, acc, [])
+        stats = execute_kernel_tasks(*args)
+        assert stats.tasks_executed == 0
+        assert stats.waves == 0
+        assert stats.num_pairs == 0
+        assert args[7].events == []
+
+    def test_single_task(self, co_programs):
+        program = co_programs["GCN"]
+        kernel = _first_input_kernel(program)
+        tasks = kernel.exec_scheme.tasks()[:1]
+        accs = [Accelerator(program.config) for _ in range(2)]
+        sv = execute_kernel_tasks_vectorised(
+            *_loop_args(program, kernel, accs[0], tasks)
+        )
+        sr = execute_kernel_tasks_reference(
+            *_loop_args(program, kernel, accs[1], tasks)
+        )
+        assert sv is not None
+        assert sv.report == sr.report
+        assert sv.counts == sr.counts
+        assert sv.tasks_executed == sr.tasks_executed == 1
+
+    def test_all_skip_kernel(self, zero_slab_program):
+        # restrict to the zero slab's tasks: every pair SKIPs, nothing
+        # dispatches, nothing is written
+        program = zero_slab_program
+        kernel = _aggregate_kernel(program)
+        all_tasks = kernel.exec_scheme.tasks()
+        acc = Accelerator(program.config)
+        probe = _loop_args(program, kernel, acc, all_tasks)
+        execute_kernel_tasks(*probe)
+        dispatched_rows = {
+            all_tasks[e.task_index].out_row for e in probe[7].events
+        }
+        dead = [t for t in all_tasks if t.out_row not in dispatched_rows]
+        assert dead, "zero slab produced no dead tasks"
+        acc2 = Accelerator(program.config)
+        args = _loop_args(program, kernel, acc2, dead)
+        stats = execute_kernel_tasks(*args)
+        assert stats.tasks_executed == 0
+        assert stats.report == CycleReport()
+        assert args[7].events == []
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_random_task_subsets_match(self, co_programs, seed):
+        program = co_programs["GCN"]
+        kernel = _first_input_kernel(program)
+        all_tasks = kernel.exec_scheme.tasks()
+        rng = np.random.default_rng(seed)
+        mask = rng.random(len(all_tasks)) < rng.uniform(0.1, 0.9)
+        subset = [t for t, m in zip(all_tasks, mask) if m]
+        accs = [Accelerator(program.config) for _ in range(2)]
+        av = _loop_args(program, kernel, accs[0], subset)
+        ar = _loop_args(program, kernel, accs[1], subset)
+        sv = execute_kernel_tasks_vectorised(*av)
+        sr = execute_kernel_tasks_reference(*ar)
+        assert sv is not None
+        assert sv.report == sr.report
+        assert sv.counts == sr.counts
+        assert sv.waves == sr.waves
+        evv = [(e.core, e.start, e.end, e.task_index) for e in av[7].events]
+        evr = [(e.core, e.start, e.end, e.task_index) for e in ar[7].events]
+        assert evv == evr
+
+
+class TestSortedBalance:
+    def test_sorted_never_needs_more_waves(self, co_programs):
+        for model_name in ("GCN", "GIN"):
+            program = co_programs[model_name]
+            rf = run_strategy(program, "Dynamic", balance="fifo")
+            rs = run_strategy(program, "Dynamic", balance="sorted")
+            np.testing.assert_array_equal(
+                _dense(rf.output), _dense(rs.output)
+            )
+            for kf, ks in zip(rf.kernel_stats, rs.kernel_stats):
+                assert ks.num_waves <= kf.num_waves
+
+    def test_unknown_balance_rejected(self, co_programs):
+        with pytest.raises(ValueError, match="balance"):
+            run_strategy(co_programs["GCN"], "Dynamic", balance="lpt")
+
+    @given(
+        durations=st.lists(st.floats(0.0, 1e6), min_size=1, max_size=64),
+        cores=st.integers(1, 8),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_wave_fill_respects_cap(self, durations, cores):
+        d = np.asarray(durations)
+        order, assigned = wave_fill_schedule(d, np.zeros(cores))
+        # a permutation of all tasks...
+        assert sorted(order.tolist()) == list(range(len(d)))
+        # ...with no core taking more than ceil(E / C) tasks, which by
+        # pigeonhole is what FIFO puts on its fullest core
+        cap = -(len(d) // -cores)
+        counts = np.bincount(assigned, minlength=cores)
+        assert counts.max() <= cap

@@ -1,0 +1,27 @@
+"""Single-source-of-truth check for the package version.
+
+The version lives in two places — ``pyproject.toml`` (what pip/PyPI
+see) and ``repro.__version__`` (what the runtime reports).  They have
+drifted in other projects often enough that CI pins them together.
+"""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+
+# stdlib TOML parser is 3.11+; the 3.10 matrix leg skips the cross-check
+tomllib = pytest.importorskip("tomllib")
+
+
+def test_pyproject_version_matches_package():
+    pyproject = Path(__file__).resolve().parent.parent / "pyproject.toml"
+    with pyproject.open("rb") as fh:
+        meta = tomllib.load(fh)
+    assert meta["project"]["version"] == repro.__version__
+
+
+def test_version_is_semver():
+    major, minor, patch = repro.__version__.split(".")
+    assert all(part.isdigit() for part in (major, minor, patch))
