@@ -77,7 +77,7 @@ from repro.sched import (
     SLOPolicy,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 #: legacy top-level entry points -> (module, attribute, replacement hint).
 #: Accessing them still works but warns once per process: the Engine

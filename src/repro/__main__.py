@@ -1022,6 +1022,10 @@ def main(argv=None) -> int:
                              "<baseline>/trace.json)")
     p_diff.set_defaults(func=cmd_perf_diff)
 
+    from repro.staticcheck.cli import add_parser as add_staticcheck_parser
+
+    add_staticcheck_parser(sub)
+
     p_res = sub.add_parser("resources", help="Fig. 9 resource table")
     p_res.set_defaults(func=cmd_resources)
 

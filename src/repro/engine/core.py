@@ -408,7 +408,7 @@ class Engine:
                 # engine): this delta alone cannot bring the entry up to
                 # date, so it must be evicted, not patched
                 outcome.evictions += self.cache.invalidate(
-                    lambda key, _program: key == old_key
+                    lambda key, _program, _old=old_key: key == _old
                 )
                 continue
             program = self.cache.pop(old_key)

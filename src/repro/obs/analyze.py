@@ -415,6 +415,7 @@ class Attribution:
     def to_dict(self) -> dict:
         return {
             "kind": self.kind,
+            "source": self.source,
             "by_category": dict(self.by_category),
             "aggregate_by_cat": dict(self.aggregate_by_cat),
             "total_s": self.total_s,

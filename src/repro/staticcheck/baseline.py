@@ -1,0 +1,101 @@
+"""Finding-count baseline: the ratchet.
+
+Pre-existing findings are recorded as ``(code, file) -> count`` in a
+committed JSON file.  A run against the baseline fails only on *new*
+findings — a (code, file) cell whose count grew — so the debt can be
+burned down incrementally while regressions fail immediately.  Counts
+(not line numbers) are the key: unrelated edits move lines around, but a
+new violation in a file always grows its cell.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.staticcheck.core import Finding, StaticCheckError
+
+BASELINE_VERSION = 1
+#: repo-relative default location of the committed baseline
+DEFAULT_BASELINE = "results/staticcheck_baseline.json"
+
+
+@dataclass
+class RatchetResult:
+    """Outcome of comparing current findings against a baseline."""
+
+    #: findings not covered by the baseline (these fail the gate)
+    new: list[Finding] = field(default_factory=list)
+    #: findings absorbed by baseline counts
+    baselined: list[Finding] = field(default_factory=list)
+    #: baseline cells whose debt shrank or vanished (candidates for
+    #: --update-baseline so the ratchet tightens)
+    improved: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "new": [f.to_dict() for f in self.new],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "improved": dict(sorted(self.improved.items())),
+        }
+
+
+def counts_of(findings: list[Finding]) -> dict[str, int]:
+    return dict(sorted(Counter(f.key() for f in findings).items()))
+
+
+def save_baseline(path: Path, findings: list[Finding]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "repro staticcheck",
+        "counts": counts_of(findings),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    """Counts from a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return {}
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise StaticCheckError(f"corrupt baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "counts" not in payload:
+        raise StaticCheckError(f"baseline {path} has no 'counts' mapping")
+    if payload.get("version") != BASELINE_VERSION:
+        raise StaticCheckError(
+            f"baseline {path} has version {payload.get('version')!r}, "
+            f"expected {BASELINE_VERSION}; regenerate with --update-baseline"
+        )
+    counts = payload["counts"]
+    if not all(isinstance(v, int) and v >= 0 for v in counts.values()):
+        raise StaticCheckError(f"baseline {path} has non-count entries")
+    return counts
+
+
+def ratchet(findings: list[Finding], baseline: dict[str, int]) -> RatchetResult:
+    """Split findings into baseline-absorbed vs new; note improvements."""
+    result = RatchetResult()
+    budget = dict(baseline)
+    # deterministic absorption order: earliest findings in a file consume
+    # the budget, the excess (the newest violations) surface as new
+    for finding in findings:
+        key = finding.key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            result.baselined.append(finding)
+        else:
+            result.new.append(finding)
+    for key, remaining in sorted(budget.items()):
+        if remaining > 0:
+            result.improved[key] = remaining
+    return result

@@ -1,0 +1,82 @@
+"""Human and JSON rendering of a staticcheck run."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.staticcheck.baseline import RatchetResult
+from repro.staticcheck.core import Finding, rule_catalog
+
+
+def human_report(
+    findings: list[Finding],
+    ratchet: RatchetResult | None = None,
+    checked_files: int = 0,
+) -> str:
+    """The terminal report: one line per finding plus a summary."""
+    lines: list[str] = []
+    if ratchet is None:
+        shown = findings
+        label = "finding(s)"
+    else:
+        shown = ratchet.new
+        label = "new finding(s) beyond the baseline"
+    lines.extend(f.describe() for f in shown)
+    by_code = Counter(f.code for f in shown)
+    summary = ", ".join(f"{c} x{n}" for c, n in sorted(by_code.items()))
+    lines.append(
+        f"{len(shown)} {label} across {checked_files} file(s)"
+        + (f" ({summary})" if summary else "")
+    )
+    if ratchet is not None:
+        if ratchet.baselined:
+            lines.append(
+                f"{len(ratchet.baselined)} pre-existing finding(s) absorbed "
+                f"by the baseline"
+            )
+        if ratchet.improved:
+            freed = sum(ratchet.improved.values())
+            lines.append(
+                f"baseline debt shrank by {freed} finding(s) — run "
+                f"--update-baseline to tighten the ratchet"
+            )
+    return "\n".join(lines)
+
+
+def json_report(
+    findings: list[Finding],
+    ratchet: RatchetResult | None = None,
+    checked_files: int = 0,
+    mypy: dict | None = None,
+) -> dict:
+    """The machine report emitted by ``--json`` and the CI artifact."""
+    payload: dict = {
+        "tool": "repro staticcheck",
+        "checked_files": checked_files,
+        "findings": [f.to_dict() for f in findings],
+        "counts_by_code": dict(sorted(Counter(f.code for f in findings).items())),
+        "ok": not findings if ratchet is None else ratchet.ok,
+    }
+    if ratchet is not None:
+        payload["ratchet"] = ratchet.to_dict()
+    if mypy is not None:
+        payload["mypy"] = mypy
+    return payload
+
+
+def write_json_report(path: Path, payload: dict) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def catalog_table() -> str:
+    """The rule catalog (``--list-rules``)."""
+    rules = rule_catalog()
+    width = max(len(r.category) for r in rules)
+    return "\n".join(
+        f"{r.code}  {r.category:<{width}}  {r.default_severity:<7}  {r.summary}"
+        for r in rules
+    )

@@ -1,0 +1,207 @@
+"""mypy strict-typing ratchet.
+
+``[tool.mypy]`` in pyproject.toml runs strict on a seed set of packages
+(``formats``, ``ir``, ``perf``, ``obs``, ``staticcheck``) and lenient on
+the rest.  The committed error-count baseline
+(``results/mypy_baseline.json``) records per-package error counts; CI
+fails if any package's count *grows*.  Shrinking counts are advertised
+so the baseline can be tightened with ``--update-baseline``.
+
+The ratchet degrades explicitly rather than silently:
+
+* mypy not installed       -> status ``skipped`` (gate passes; the CI
+  ``static-analysis`` job installs mypy via the ``lint`` extra, so the
+  gate is real where it matters);
+* baseline recorded under a different mypy version, or never measured
+  (``"mypy_version": null``) -> status ``stale``: the run prints the
+  fresh counts and passes, because error counts are not comparable
+  across mypy releases — refresh with ``--update-baseline``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.staticcheck.core import StaticCheckError
+
+BASELINE_VERSION = 1
+#: repo-relative default location of the committed baseline
+DEFAULT_MYPY_BASELINE = "results/mypy_baseline.json"
+#: what mypy checks (repo-relative)
+MYPY_TARGET = "src/repro"
+
+
+def mypy_available() -> bool:
+    return importlib.util.find_spec("mypy") is not None
+
+
+def mypy_version() -> str | None:
+    if not mypy_available():
+        return None
+    from importlib.metadata import PackageNotFoundError, version
+
+    try:
+        return version("mypy")
+    except PackageNotFoundError:  # pragma: no cover - odd partial installs
+        return None
+
+
+def run_mypy(root: Path) -> str:
+    """Run mypy over the package; returns its stdout (never raises on errors)."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--no-error-summary",
+         "--config-file", "pyproject.toml", MYPY_TARGET],
+        cwd=root, capture_output=True, text=True,
+    )
+    if proc.returncode not in (0, 1):  # 2 = usage/config/crash
+        raise StaticCheckError(
+            f"mypy failed to run (exit {proc.returncode}):\n"
+            f"{proc.stdout}{proc.stderr}"
+        )
+    return proc.stdout
+
+
+def parse_error_counts(output: str) -> dict[str, int]:
+    """Per-package ``error:`` counts from mypy's line output.
+
+    Keys are top-level packages under ``repro`` (``repro.serve``, ...);
+    files directly under ``src/repro`` count as ``repro``.
+    """
+    counts: dict[str, int] = {}
+    for line in output.splitlines():
+        parts = line.split(":", 3)
+        if len(parts) < 4 or parts[2].strip() != "error":
+            continue
+        path = Path(parts[0].strip())
+        pieces = path.as_posix().split("/")
+        if "repro" not in pieces:
+            continue
+        idx = pieces.index("repro")
+        module = "repro" if idx + 1 >= len(pieces) - 1 else f"repro.{pieces[idx + 1]}"
+        counts[module] = counts.get(module, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def load_mypy_baseline(path: Path) -> dict:
+    if not path.exists():
+        return {"version": BASELINE_VERSION, "mypy_version": None, "modules": {}}
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise StaticCheckError(f"corrupt mypy baseline {path}: {exc}") from exc
+    if payload.get("version") != BASELINE_VERSION or "modules" not in payload:
+        raise StaticCheckError(
+            f"mypy baseline {path} is malformed; regenerate with "
+            f"--update-baseline"
+        )
+    return payload
+
+
+def save_mypy_baseline(path: Path, counts: dict[str, int], version: str | None) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "repro staticcheck --mypy",
+        "mypy_version": version,
+        "total": sum(counts.values()),
+        "modules": dict(sorted(counts.items())),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def compare_counts(
+    counts: dict[str, int], baseline: dict, version: str | None
+) -> dict:
+    """Ratchet verdict as a JSON-ready payload with a ``status`` field."""
+    recorded = baseline.get("mypy_version")
+    if recorded is None or (version is not None and recorded != version):
+        return {
+            "status": "stale",
+            "reason": (
+                "baseline never measured" if recorded is None else
+                f"baseline recorded under mypy {recorded}, running "
+                f"{version}: counts are not comparable across releases"
+            ),
+            "modules": counts,
+            "total": sum(counts.values()),
+        }
+    grown = {
+        mod: {"baseline": baseline["modules"].get(mod, 0), "now": n}
+        for mod, n in counts.items()
+        if n > baseline["modules"].get(mod, 0)
+    }
+    shrunk = {
+        mod: {"baseline": b, "now": counts.get(mod, 0)}
+        for mod, b in baseline["modules"].items()
+        if counts.get(mod, 0) < b
+    }
+    return {
+        "status": "fail" if grown else "ok",
+        "modules": counts,
+        "total": sum(counts.values()),
+        "baseline_total": baseline.get("total", sum(baseline["modules"].values())),
+        "grown": grown,
+        "shrunk": shrunk,
+    }
+
+
+def mypy_ratchet(
+    root: Path,
+    baseline_path: Path,
+    update: bool = False,
+) -> dict:
+    """Run the full ratchet; the returned payload's ``status`` drives exit codes."""
+    if not mypy_available():
+        return {
+            "status": "skipped",
+            "reason": "mypy is not installed (pip install -e .[lint])",
+        }
+    version = mypy_version()
+    counts = parse_error_counts(run_mypy(root))
+    if update:
+        save_mypy_baseline(baseline_path, counts, version)
+        return {
+            "status": "updated",
+            "modules": counts,
+            "total": sum(counts.values()),
+        }
+    return compare_counts(counts, load_mypy_baseline(baseline_path), version)
+
+
+def describe(payload: dict) -> list[str]:
+    """Human lines for the ratchet payload."""
+    status = payload["status"]
+    if status == "skipped":
+        return [f"mypy ratchet skipped: {payload['reason']}"]
+    if status == "updated":
+        return [
+            f"mypy baseline refreshed: {payload['total']} error(s) across "
+            f"{len(payload['modules'])} package(s)"
+        ]
+    if status == "stale":
+        lines = [f"mypy ratchet stale ({payload['reason']}); measured now:"]
+        lines += [f"  {m}: {n}" for m, n in payload["modules"].items()]
+        lines.append(
+            f"  total {payload['total']} — commit with "
+            f"`repro staticcheck --mypy --update-baseline`"
+        )
+        return lines
+    lines = [
+        f"mypy ratchet {status}: {payload['total']} error(s) "
+        f"(baseline {payload['baseline_total']})"
+    ]
+    for mod, delta in payload.get("grown", {}).items():
+        lines.append(
+            f"  GREW {mod}: {delta['baseline']} -> {delta['now']} "
+            f"(new strict-typing errors are forbidden)"
+        )
+    for mod, delta in payload.get("shrunk", {}).items():
+        lines.append(
+            f"  shrank {mod}: {delta['baseline']} -> {delta['now']} "
+            f"(tighten with --update-baseline)"
+        )
+    return lines
